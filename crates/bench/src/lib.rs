@@ -1,0 +1,2 @@
+//! Criterion bench crate — the benches in `benches/` regenerate every
+//! table and figure of the paper; see EXPERIMENTS.md.

@@ -1,0 +1,60 @@
+//! # coop-core — Cooperative Partitioning
+//!
+//! The primary contribution of *"Cooperative Partitioning: Energy-Efficient
+//! Cache Partitioning for High-Performance CMPs"* (HPCA 2012), plus the four
+//! comparison schemes it is evaluated against:
+//!
+//! | Scheme | Allocation | Enforcement | Dynamic savings | Static savings |
+//! |---|---|---|---|---|
+//! | Unmanaged | none | none (global LRU) | no (probes all ways) | no |
+//! | Fair Share | static equal | way masks | yes (own ways only) | no |
+//! | Dynamic CPE | per-epoch, profile-driven | immediate flush + way masks | yes | yes |
+//! | UCP | per-epoch, UMON look-ahead | replacement quotas (lazy) | no | no |
+//! | **Cooperative** | per-epoch, UMON look-ahead **+ threshold** | RAP/WAP + cooperative takeover | **yes** | **yes** |
+//!
+//! Main types:
+//!
+//! * [`PartitionedLlc`] — the shared L2 with pluggable scheme ([`SchemeKind`]);
+//! * [`UtilityMonitor`] — UCP-style sampled shadow-tag utility monitor;
+//! * [`lookahead::allocate`] — the look-ahead algorithm with the paper's
+//!   takeover threshold (Algorithm 1);
+//! * [`PermissionFile`] — RAP/WAP registers (Algorithm 2, Figure 3);
+//! * [`takeover`] — takeover bit vectors and the cooperative-takeover
+//!   transition protocol (Figure 4);
+//! * [`overhead`] — Table 1 hardware-cost accounting.
+//!
+//! ```
+//! use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+//! use memsim::{CacheGeometry, Dram, DramConfig};
+//! use simkit::types::{CoreId, Cycle, LineAddr};
+//!
+//! let cfg = LlcConfig::two_core(SchemeKind::Cooperative);
+//! let mut llc = PartitionedLlc::new(cfg, 2);
+//! let mut dram = Dram::new(DramConfig::default());
+//! let line = LineAddr::from_byte_addr(CoreId(0), 0x4000, 64);
+//! let done = llc.access(Cycle(0), CoreId(0), line, false, &mut dram);
+//! assert!(done > Cycle(0));
+//! ```
+
+pub mod config;
+pub mod cpe;
+pub mod curve;
+pub mod llc;
+pub mod lookahead;
+pub mod overhead;
+pub mod power;
+pub mod rapwap;
+pub mod stats;
+pub mod takeover;
+pub mod ucp;
+pub mod umon;
+
+pub use config::{LlcConfig, SchemeKind};
+pub use curve::MissCurve;
+pub use llc::PartitionedLlc;
+pub use lookahead::{allocate, Allocation};
+pub use overhead::HardwareOverhead;
+pub use rapwap::PermissionFile;
+pub use stats::LlcStats;
+pub use takeover::TakeoverEventKind;
+pub use umon::UtilityMonitor;

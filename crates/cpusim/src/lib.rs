@@ -1,0 +1,23 @@
+//! # cpusim — out-of-order-lite core model
+//!
+//! A trace-driven core model reproducing the performance-relevant behaviour
+//! of the paper's Marss-x86 configuration (Table 2): 4-wide out-of-order
+//! issue, 128-entry ROB, 48-entry LSQ, gshare + BTB with a 10-cycle minimum
+//! misprediction penalty, private 32 kB 4-way L1 I/D caches with MSHRs.
+//!
+//! The model tracks per-instruction *completion times* through a ROB-shaped
+//! window: independent cache misses overlap (memory-level parallelism is
+//! bounded by the ROB, LSQ and MSHRs exactly as in hardware), dependent loads
+//! serialize, mispredictions stall the front end. That coupling between LLC
+//! hit rate and IPC is all the paper's evaluation needs from the core.
+//!
+//! Cores talk to the shared LLC through the [`LlcPort`] trait so the same
+//! core drives any of the five partitioning schemes.
+
+pub mod bpred;
+pub mod core;
+pub mod trace;
+
+pub use bpred::{BranchStats, Gshare};
+pub use core::{Core, CoreConfig, CoreStats, LlcPort, StepOutcome};
+pub use trace::{Instr, InstrKind, InstrSource};

@@ -1,0 +1,125 @@
+//! Instruction records and the trace-source abstraction.
+
+use serde::{Deserialize, Serialize};
+
+/// Dynamic instruction class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum InstrKind {
+    /// Integer/FP computation — completes in one cycle, fully pipelined.
+    Alu,
+    /// Memory read.
+    Load,
+    /// Memory write (retires through the store buffer).
+    Store,
+    /// Conditional branch.
+    Branch,
+}
+
+/// One dynamic instruction produced by a trace source.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Instr {
+    /// Instruction class.
+    pub kind: InstrKind,
+    /// Core-local byte address referenced (loads/stores; ignored otherwise).
+    pub addr: u64,
+    /// Program counter (drives the L1-I stream and branch prediction).
+    pub pc: u64,
+    /// Actual branch outcome (branches only).
+    pub taken: bool,
+    /// This load's address depends on the previous load (pointer chasing);
+    /// it cannot issue before that load completes.
+    pub dep_prev_load: bool,
+}
+
+impl Instr {
+    /// A plain ALU instruction at `pc`.
+    pub fn alu(pc: u64) -> Instr {
+        Instr {
+            kind: InstrKind::Alu,
+            addr: 0,
+            pc,
+            taken: false,
+            dep_prev_load: false,
+        }
+    }
+
+    /// A load of `addr` at `pc`.
+    pub fn load(pc: u64, addr: u64) -> Instr {
+        Instr {
+            kind: InstrKind::Load,
+            addr,
+            pc,
+            taken: false,
+            dep_prev_load: false,
+        }
+    }
+
+    /// A store to `addr` at `pc`.
+    pub fn store(pc: u64, addr: u64) -> Instr {
+        Instr {
+            kind: InstrKind::Store,
+            addr,
+            pc,
+            taken: false,
+            dep_prev_load: false,
+        }
+    }
+
+    /// A branch at `pc` with the given outcome.
+    pub fn branch(pc: u64, taken: bool) -> Instr {
+        Instr {
+            kind: InstrKind::Branch,
+            addr: 0,
+            pc,
+            taken,
+            dep_prev_load: false,
+        }
+    }
+}
+
+/// An endless stream of dynamic instructions.
+///
+/// Workload generators implement this; the core pulls one instruction per
+/// dispatch slot. Sources must be infinite — the paper keeps every
+/// application running until the slowest one reaches its instruction target,
+/// so a source is never "done".
+pub trait InstrSource {
+    /// Produces the next dynamic instruction.
+    fn next_instr(&mut self) -> Instr;
+}
+
+/// Blanket impl so closures can serve as sources in tests.
+impl<F: FnMut() -> Instr> InstrSource for F {
+    fn next_instr(&mut self) -> Instr {
+        self()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_set_fields() {
+        let l = Instr::load(0x400, 0x1000);
+        assert_eq!(l.kind, InstrKind::Load);
+        assert_eq!(l.addr, 0x1000);
+        assert_eq!(l.pc, 0x400);
+        let b = Instr::branch(0x404, true);
+        assert_eq!(b.kind, InstrKind::Branch);
+        assert!(b.taken);
+        assert_eq!(Instr::alu(0).kind, InstrKind::Alu);
+        assert_eq!(Instr::store(0, 8).kind, InstrKind::Store);
+    }
+
+    #[test]
+    fn closures_are_sources() {
+        let mut n = 0u64;
+        let mut src = move || {
+            n += 4;
+            Instr::alu(n)
+        };
+        assert_eq!(src.next_instr().pc, 4);
+        assert_eq!(src.next_instr().pc, 8);
+    }
+}

@@ -1,0 +1,32 @@
+//! # energy — CACTI-45nm-style energy model
+//!
+//! The paper obtains cache energy numbers from CACTI 5.1 at 45 nm and reports
+//! (Figures 6/7/9/10/12/13):
+//!
+//! * **dynamic energy** — tag-side only, because the LLC uses serial
+//!   tag-then-data access ("we assume accesses are serial. Therefore dynamic
+//!   energy savings come from the tag side only", Section 2). It scales with
+//!   the number of *ways consulted per access*, which is what the
+//!   partitioning schemes change.
+//! * **static energy** — leakage, scaling with the number of *powered-on
+//!   way-cycles*; unallocated ways are gated with Powell's gated-Vdd
+//!   (non-state-preserving, near-zero residual leakage).
+//!
+//! CACTI itself is not available in this environment, so [`EnergyParams`]
+//! embeds representative 45 nm magnitudes (documented per field) derived from
+//! published CACTI 5.1 outputs for caches of this size. Because every result
+//! in the paper is *normalized to the Fair Share scheme*, the reproduced
+//! shapes depend only on the ratios of ways-consulted and way-cycles-on,
+//! which the simulator measures exactly; the absolute joule figures are
+//! plausible but not calibrated to the authors' testbed.
+//!
+//! The simulator produces raw [`EnergyCounts`]; [`EnergyParams::evaluate`]
+//! turns them into an [`EnergyReport`]. All overhead circuitry the paper
+//! charges (UMON probes, takeover bit-vector accesses, monitor leakage) is
+//! included.
+
+pub mod accounting;
+pub mod params;
+
+pub use accounting::{EnergyCounts, EnergyReport};
+pub use params::EnergyParams;

@@ -1,0 +1,69 @@
+//! `inspect` — watches one workload group epoch by epoch: UMON miss
+//! curves (CURVES=1), UCP quotas / CP allocations, powered ways and
+//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=ucp|cp|fair|un.
+use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+use cpusim::{Core, CoreConfig, LlcPort};
+use memsim::{Dram, DramConfig};
+use simkit::types::{CoreId, Cycle, LineAddr};
+use workloads::{two_core_groups, SyntheticSource};
+
+struct Port<'a> { llc: &'a mut PartitionedLlc, dram: &'a mut Dram }
+impl LlcPort for Port<'_> {
+    fn access(&mut self, now: Cycle, core: CoreId, line: LineAddr, write: bool) -> Cycle {
+        self.llc.access(now, core, line, write, self.dram)
+    }
+    fn writeback(&mut self, now: Cycle, core: CoreId, line: LineAddr) {
+        self.llc.writeback(now, core, line, self.dram);
+    }
+}
+
+fn main() {
+    let gname = std::env::var("GROUP").unwrap_or_else(|_| "G2-1".into());
+    let scheme = match std::env::var("SCHEME").as_deref() {
+        Ok("cp") => SchemeKind::Cooperative,
+        Ok("fair") => SchemeKind::FairShare,
+        Ok("un") => SchemeKind::Unmanaged,
+        _ => SchemeKind::Ucp,
+    };
+    let curves = std::env::var("CURVES").is_ok();
+    let group = two_core_groups().into_iter().find(|g| g.name == gname).expect("group");
+    println!("{} under {:?}", group, scheme);
+    let mut cores: Vec<Core> = group.benchmarks.iter().enumerate()
+        .map(|(i, b)| Core::new(CoreId(i as u8), CoreConfig::default(), Box::new(SyntheticSource::new(b.model(), 0x5EED ^ ((i as u64) << 32)))))
+        .collect();
+    let mut llc = PartitionedLlc::new(LlcConfig::two_core(scheme).with_epoch(500_000), 2);
+    let mut dram = Dram::new(DramConfig::default());
+    let mut now = Cycle::ZERO;
+    let mut next_epoch = Cycle(500_000);
+    let mut epoch = 0;
+    let mut last_retired = vec![0u64; cores.len()];
+    while epoch < 34 {
+        let mut next = Cycle(u64::MAX);
+        for c in &mut cores {
+            let mut port = Port { llc: &mut llc, dram: &mut dram };
+            let out = c.step(now, &mut port);
+            next = next.min(out.next_event);
+        }
+        if now >= next_epoch {
+            if curves {
+                for (i, b) in group.benchmarks.iter().enumerate() {
+                    let c = llc.umon_curve(CoreId(i as u8));
+                    let m: Vec<String> = (0..=8).map(|w| format!("{:.0}", c.misses(w))).collect();
+                    println!("e{epoch} {:8} curve: {}", b.name(), m.join(" "));
+                }
+            }
+            llc.on_epoch(now, &mut dram);
+            let ipcs: Vec<String> = cores.iter().enumerate().map(|(i, c)| {
+                let d = c.retired() - last_retired[i];
+                last_retired[i] = c.retired();
+                format!("{:.2}", d as f64 / 500_000.0)
+            }).collect();
+            println!("e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
+                llc.ucp_quotas(), llc.current_allocation(), llc.ways_on(), ipcs);
+            next_epoch = now + 500_000;
+            epoch += 1;
+        }
+        next = next.min(next_epoch);
+        now = next.max(now + 1);
+    }
+}

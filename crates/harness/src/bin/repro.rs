@@ -1,0 +1,146 @@
+//! `repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment|all> [--scale tiny|small|medium|paper] [--csv DIR]
+//!
+//! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
+//!              fig11 fig12 fig13 fig14 fig15 fig16 all two-core four-core
+//! ```
+//!
+//! The scale can also be set via the `COOP_SCALE` environment variable.
+
+use std::io::Write as _;
+
+use harness::experiments::{self, Experiment};
+use harness::experiments::fig11_13::ThresholdMetric;
+use harness::experiments::fig5_10::Metric;
+use harness::SimScale;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        usage();
+        return;
+    }
+    let mut scale = SimScale::from_env_or(SimScale::small());
+    let mut csv_dir: Option<String> = None;
+    let mut what = args[0].clone();
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                let name = args.get(i).expect("--scale needs a value");
+                scale = SimScale::by_name(name)
+                    .unwrap_or_else(|| panic!("unknown scale '{name}'"));
+            }
+            "--csv" => {
+                i += 1;
+                csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            other if i == 0 => what = other.to_string(),
+            other => panic!("unexpected argument '{other}'"),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "# scale '{}': {} instrs/app, {}-cycle epochs (paper: 1B instrs, 5M-cycle epochs)",
+        scale.name, scale.instrs_per_app, scale.epoch_cycles
+    );
+    let start = std::time::Instant::now();
+    let list = select(&what, scale);
+    for e in &list {
+        println!("{}", e.render());
+        if let Some(dir) = &csv_dir {
+            write_csv(dir, e);
+        }
+    }
+    eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+fn select(what: &str, scale: SimScale) -> Vec<Experiment> {
+    match what {
+        "table1" => vec![experiments::table1::table()],
+        "table3" => vec![experiments::table3::table(scale)],
+        "table4" => vec![experiments::table4::table()],
+        "fig5" => vec![experiments::fig5_10::figure(2, Metric::WeightedSpeedup, scale)],
+        "fig6" => vec![experiments::fig5_10::figure(2, Metric::DynamicEnergy, scale)],
+        "fig7" => vec![experiments::fig5_10::figure(2, Metric::StaticEnergy, scale)],
+        "fig8" => vec![experiments::fig5_10::figure(4, Metric::WeightedSpeedup, scale)],
+        "fig9" => vec![experiments::fig5_10::figure(4, Metric::DynamicEnergy, scale)],
+        "fig10" => vec![experiments::fig5_10::figure(4, Metric::StaticEnergy, scale)],
+        "fig11" => vec![experiments::fig11_13::figure(ThresholdMetric::Performance, scale)],
+        "fig12" => vec![experiments::fig11_13::figure(ThresholdMetric::DynamicEnergy, scale)],
+        "fig13" => vec![experiments::fig11_13::figure(ThresholdMetric::StaticEnergy, scale)],
+        "fig14" => vec![experiments::fig14::figure(scale)],
+        "fig15" => vec![experiments::fig15::figure(scale)],
+        "fig16" => vec![experiments::fig16::figure(scale)],
+        "two-core" => {
+            let mut v = vec![
+                experiments::fig5_10::figure(2, Metric::WeightedSpeedup, scale),
+                experiments::fig5_10::figure(2, Metric::DynamicEnergy, scale),
+                experiments::fig5_10::figure(2, Metric::StaticEnergy, scale),
+            ];
+            v.push(experiments::fig14::figure(scale));
+            v.push(experiments::fig15::figure(scale));
+            v.push(experiments::fig16::figure(scale));
+            v
+        }
+        "four-core" => vec![
+            experiments::fig5_10::figure(4, Metric::WeightedSpeedup, scale),
+            experiments::fig5_10::figure(4, Metric::DynamicEnergy, scale),
+            experiments::fig5_10::figure(4, Metric::StaticEnergy, scale),
+        ],
+        "all" => {
+            let mut v = vec![
+                experiments::table1::table(),
+                experiments::table4::table(),
+                experiments::table3::table(scale),
+            ];
+            for (cores, m) in [
+                (2, Metric::WeightedSpeedup),
+                (2, Metric::DynamicEnergy),
+                (2, Metric::StaticEnergy),
+                (4, Metric::WeightedSpeedup),
+                (4, Metric::DynamicEnergy),
+                (4, Metric::StaticEnergy),
+            ] {
+                v.push(experiments::fig5_10::figure(cores, m, scale));
+            }
+            for m in [
+                ThresholdMetric::Performance,
+                ThresholdMetric::DynamicEnergy,
+                ThresholdMetric::StaticEnergy,
+            ] {
+                v.push(experiments::fig11_13::figure(m, scale));
+            }
+            v.push(experiments::fig14::figure(scale));
+            v.push(experiments::fig15::figure(scale));
+            v.push(experiments::fig16::figure(scale));
+            v
+        }
+        other => {
+            usage();
+            panic!("unknown experiment '{other}'");
+        }
+    }
+}
+
+fn write_csv(dir: &str, e: &Experiment) {
+    std::fs::create_dir_all(dir).expect("create csv dir");
+    let name = e.id.to_lowercase().replace(' ', "");
+    let path = format!("{dir}/{name}.csv");
+    let mut f = std::fs::File::create(&path).expect("create csv file");
+    f.write_all(e.table.to_csv().as_bytes()).expect("write csv");
+    eprintln!("# wrote {path}");
+}
+
+fn usage() {
+    eprintln!(
+        "usage: repro <experiment|all|two-core|four-core> [--scale tiny|small|medium|paper] [--csv DIR]\n\
+         experiments: table1 table3 table4 fig5..fig16"
+    );
+}

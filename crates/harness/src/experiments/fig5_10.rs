@@ -1,0 +1,98 @@
+//! Figures 5-10: weighted speedup, dynamic energy and static energy for the
+//! two-core (Figs 5-7) and four-core (Figs 8-10) sweeps, all normalized to
+//! Fair Share, with the geometric-mean AVG column the paper plots.
+
+use coop_core::SchemeKind;
+use simkit::geometric_mean;
+use simkit::table::Table;
+
+use crate::experiments::{cached_sweep, Experiment, Sweep};
+use crate::scale::SimScale;
+
+/// Which quantity a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Weighted speedup (Figures 5/8).
+    WeightedSpeedup,
+    /// Dynamic (tag-side) energy (Figures 6/9).
+    DynamicEnergy,
+    /// Static (leakage) energy (Figures 7/10).
+    StaticEnergy,
+}
+
+impl Metric {
+    fn of(self, sweep: &Sweep, g: usize, scheme: SchemeKind) -> f64 {
+        match self {
+            Metric::WeightedSpeedup => sweep.ws_normalized(g, scheme),
+            Metric::DynamicEnergy => sweep.dynamic_normalized(g, scheme),
+            Metric::StaticEnergy => sweep.static_normalized(g, scheme),
+        }
+    }
+}
+
+/// Builds one of Figures 5-10.
+pub fn figure(cores: usize, metric: Metric, scale: SimScale) -> Experiment {
+    let sweep = cached_sweep(cores, scale);
+    let (id, title) = match (cores, metric) {
+        (2, Metric::WeightedSpeedup) => ("Figure 5", "Weighted speedup, two-core (norm. Fair Share)"),
+        (2, Metric::DynamicEnergy) => ("Figure 6", "Dynamic energy, two-core (norm. Fair Share)"),
+        (2, Metric::StaticEnergy) => ("Figure 7", "Static energy, two-core (norm. Fair Share)"),
+        (4, Metric::WeightedSpeedup) => ("Figure 8", "Weighted speedup, four-core (norm. Fair Share)"),
+        (4, Metric::DynamicEnergy) => ("Figure 9", "Dynamic energy, four-core (norm. Fair Share)"),
+        (4, Metric::StaticEnergy) => ("Figure 10", "Static energy, four-core (norm. Fair Share)"),
+        _ => panic!("paper figures cover 2- and 4-core systems"),
+    };
+
+    let mut headers = vec!["Group".to_string()];
+    headers.extend(SchemeKind::ALL.iter().map(|s| s.label().to_string()));
+    let mut table = Table::new(headers);
+    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SchemeKind::ALL.len()];
+    for g in 0..sweep.groups.len() {
+        let values: Vec<f64> = SchemeKind::ALL
+            .iter()
+            .map(|&s| metric.of(&sweep, g, s))
+            .collect();
+        for (acc, &v) in per_scheme.iter_mut().zip(values.iter()) {
+            acc.push(v);
+        }
+        table.row_f64(&sweep.groups[g].name, &values, 3);
+    }
+    let avgs: Vec<f64> = per_scheme
+        .iter()
+        .map(|v| geometric_mean(v).unwrap_or(f64::NAN))
+        .collect();
+    table.row_f64("AVG", &avgs, 3);
+
+    let coop = avgs[Sweep::scheme_idx(SchemeKind::Cooperative)];
+    let ucp = avgs[Sweep::scheme_idx(SchemeKind::Ucp)];
+    let notes = match metric {
+        Metric::WeightedSpeedup => vec![
+            format!(
+                "paper: UCP and Cooperative ~1.13-1.14 (2-core) / ~1.12-1.13 (4-core); measured UCP {ucp:.3}, Cooperative {coop:.3}"
+            ),
+            format!(
+                "paper: Cooperative within ~1% of UCP; measured gap {:.1}%",
+                (ucp - coop) / ucp * 100.0
+            ),
+        ],
+        Metric::DynamicEnergy => vec![
+            format!(
+                "paper: Cooperative ~0.68 (2-core) / ~0.69 (4-core) of Fair Share; measured {coop:.3}"
+            ),
+            format!(
+                "paper: Unmanaged ~{} (probes all ways); measured {:.2}",
+                if cores == 2 { "2.0" } else { "4.0" },
+                avgs[Sweep::scheme_idx(SchemeKind::Unmanaged)]
+            ),
+        ],
+        Metric::StaticEnergy => vec![format!(
+            "paper: Cooperative ~0.75 (2-core) / ~0.80 (4-core) of Fair Share; measured {coop:.3}; Unmanaged/UCP/FairShare stay at 1.0"
+        )],
+    };
+    Experiment {
+        id: id.to_string(),
+        title: title.to_string(),
+        table,
+        notes,
+    }
+}

@@ -1,0 +1,277 @@
+//! One module per paper table/figure, plus shared sweep machinery.
+//!
+//! Figures 5-7 (and 8-10) all read from the same 14-group × 5-scheme sweep,
+//! so sweeps are memoized process-wide by (core count, scale); the threshold
+//! sweep behind Figures 11-13 is cached the same way. Every experiment
+//! returns an [`Experiment`] holding a rendered table plus free-form notes
+//! comparing against the paper's reported numbers.
+
+pub mod fig11_13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig5_10;
+pub mod table1;
+pub mod table3;
+pub mod table4;
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use coop_core::{LlcConfig, SchemeKind};
+use simkit::table::Table;
+use workloads::{four_core_groups, two_core_groups, Benchmark, WorkloadGroup};
+
+use crate::scale::SimScale;
+use crate::solo;
+use crate::system::{RunResult, System, SystemConfig};
+
+/// A rendered experiment: table + comparison notes.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Paper artifact id, e.g. "Figure 5".
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// The reproduced rows/series.
+    pub table: Table,
+    /// Notes comparing measured values with the paper's claims.
+    pub notes: Vec<String>,
+}
+
+impl Experiment {
+    /// Renders the experiment as printable text.
+    pub fn render(&self) -> String {
+        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table.render());
+        for n in &self.notes {
+            out.push_str("note: ");
+            out.push_str(n);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// All runs of one core-count sweep: `runs[group][scheme]` in
+/// [`SchemeKind::ALL`] order.
+#[derive(Debug)]
+pub struct Sweep {
+    /// 2 or 4.
+    pub cores: usize,
+    /// The Table 4 groups, in order.
+    pub groups: Vec<WorkloadGroup>,
+    /// `runs[group_idx][scheme_idx]`.
+    pub runs: Vec<Vec<RunResult>>,
+    /// Solo IPCs per group (aligned with group benchmark order).
+    pub ipc_alone: Vec<Vec<f64>>,
+}
+
+impl Sweep {
+    /// Index of a scheme in [`SchemeKind::ALL`].
+    pub fn scheme_idx(scheme: SchemeKind) -> usize {
+        SchemeKind::ALL
+            .iter()
+            .position(|&s| s == scheme)
+            .expect("scheme in ALL")
+    }
+
+    /// Weighted speedup of `(group, scheme)` normalized to Fair Share.
+    pub fn ws_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
+        let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
+            .weighted_speedup(&self.ipc_alone[g]);
+        let this =
+            self.runs[g][Self::scheme_idx(scheme)].weighted_speedup(&self.ipc_alone[g]);
+        this / fair
+    }
+
+    /// Dynamic energy normalized to Fair Share.
+    pub fn dynamic_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
+        let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
+            .energy
+            .dynamic_nj;
+        self.runs[g][Self::scheme_idx(scheme)].energy.dynamic_nj / fair
+    }
+
+    /// Static energy normalized to Fair Share.
+    pub fn static_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
+        let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
+            .energy
+            .static_nj;
+        self.runs[g][Self::scheme_idx(scheme)].energy.static_nj / fair
+    }
+
+    /// All runs for one scheme.
+    pub fn scheme_runs(&self, scheme: SchemeKind) -> impl Iterator<Item = &RunResult> {
+        let idx = Self::scheme_idx(scheme);
+        self.runs.iter().map(move |per_group| &per_group[idx])
+    }
+}
+
+/// The LLC config for a sweep of `cores` cores.
+pub fn llc_for(cores: usize, scheme: SchemeKind) -> LlcConfig {
+    match cores {
+        2 => LlcConfig::two_core(scheme),
+        4 => LlcConfig::four_core(scheme),
+        n => panic!("the paper evaluates 2- and 4-core systems, not {n}"),
+    }
+}
+
+/// Runs one (group, scheme) cell.
+pub fn run_group(group: &WorkloadGroup, scheme: SchemeKind, scale: SimScale) -> RunResult {
+    let cores = group.cores();
+    let cfg = SystemConfig {
+        benchmarks: group.benchmarks.clone(),
+        llc: llc_for(cores, scheme).with_epoch(scale.epoch_cycles),
+        core: cpusim::CoreConfig::default(),
+        dram: memsim::DramConfig::default(),
+        scale,
+        seed: 0x5EED,
+    };
+    let mut sys = System::new(cfg);
+    if scheme == SchemeKind::DynamicCpe {
+        sys.set_cpe_profile(solo::cpe_profile(
+            &group.benchmarks,
+            llc_for(cores, scheme),
+            scale,
+        ));
+    }
+    sys.run()
+}
+
+fn compute_sweep(cores: usize, scale: SimScale) -> Sweep {
+    let groups = match cores {
+        2 => two_core_groups(),
+        4 => four_core_groups(),
+        n => panic!("unsupported core count {n}"),
+    };
+    let llc = llc_for(cores, SchemeKind::Ucp);
+
+    // Prefetch solo baselines in parallel (they are shared by many cells).
+    let benchmarks: BTreeSet<Benchmark> = groups
+        .iter()
+        .flat_map(|g| g.benchmarks.iter().copied())
+        .collect();
+    parallel_for_each(benchmarks.into_iter().collect(), |b| {
+        solo::solo_result(b, llc, scale);
+    });
+
+    // Run every (group, scheme) cell in parallel.
+    let jobs: Vec<(usize, usize)> = (0..groups.len())
+        .flat_map(|g| (0..SchemeKind::ALL.len()).map(move |s| (g, s)))
+        .collect();
+    let cells: Mutex<Vec<Vec<Option<RunResult>>>> =
+        Mutex::new(vec![vec![None; SchemeKind::ALL.len()]; groups.len()]);
+    parallel_for_each(jobs, |(g, s)| {
+        let result = run_group(&groups[g], SchemeKind::ALL[s], scale);
+        cells.lock().expect("cells")[g][s] = Some(result);
+    });
+    let runs: Vec<Vec<RunResult>> = cells
+        .into_inner()
+        .expect("cells")
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| c.expect("job ran")).collect())
+        .collect();
+
+    let ipc_alone = groups
+        .iter()
+        .map(|g| solo::ipc_alone(&g.benchmarks, llc, scale))
+        .collect();
+    Sweep {
+        cores,
+        groups,
+        runs,
+        ipc_alone,
+    }
+}
+
+/// Runs `f` over `items` on up to `available_parallelism` worker threads.
+fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+    let n_workers = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .min(items.len().max(1));
+    let items: Vec<Mutex<Option<T>>> = items.into_iter().map(|i| Mutex::new(Some(i))).collect();
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..n_workers {
+            scope.spawn(|| loop {
+                let idx = next.fetch_add(1, Ordering::Relaxed);
+                if idx >= items.len() {
+                    break;
+                }
+                let item = items[idx].lock().expect("item").take().expect("taken once");
+                f(item);
+            });
+        }
+    });
+}
+
+/// Memoized sweep for (cores, scale).
+pub fn cached_sweep(cores: usize, scale: SimScale) -> Arc<Sweep> {
+    static CACHE: OnceLock<Mutex<Vec<((usize, &'static str), Arc<Sweep>)>>> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    let key = (cores, scale.name);
+    if let Some((_, hit)) = cache
+        .lock()
+        .expect("sweep cache")
+        .iter()
+        .find(|(k, _)| *k == key)
+    {
+        return Arc::clone(hit);
+    }
+    let sweep = Arc::new(compute_sweep(cores, scale));
+    cache
+        .lock()
+        .expect("sweep cache")
+        .push((key, Arc::clone(&sweep)));
+    sweep
+}
+
+/// Memoized Cooperative-scheme threshold sweep over the two-core groups
+/// (Figures 11-13). Returns `runs[group][threshold]` for
+/// [`fig11_13::THRESHOLDS`].
+pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
+    static CACHE: OnceLock<Mutex<Vec<(&'static str, Arc<Vec<Vec<RunResult>>>)>>> =
+        OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
+    if let Some((_, hit)) = cache
+        .lock()
+        .expect("threshold cache")
+        .iter()
+        .find(|(k, _)| *k == scale.name)
+    {
+        return Arc::clone(hit);
+    }
+    let groups = two_core_groups();
+    let jobs: Vec<(usize, usize)> = (0..groups.len())
+        .flat_map(|g| (0..fig11_13::THRESHOLDS.len()).map(move |t| (g, t)))
+        .collect();
+    let cells: Mutex<Vec<Vec<Option<RunResult>>>> =
+        Mutex::new(vec![vec![None; fig11_13::THRESHOLDS.len()]; groups.len()]);
+    parallel_for_each(jobs, |(g, t)| {
+        let mut cfg = SystemConfig {
+            benchmarks: groups[g].benchmarks.clone(),
+            llc: llc_for(2, SchemeKind::Cooperative).with_epoch(scale.epoch_cycles),
+            core: cpusim::CoreConfig::default(),
+            dram: memsim::DramConfig::default(),
+            scale,
+            seed: 0x5EED,
+        };
+        cfg.llc = cfg.llc.with_threshold(fig11_13::THRESHOLDS[t]);
+        let result = System::new(cfg).run();
+        cells.lock().expect("cells")[g][t] = Some(result);
+    });
+    let runs: Vec<Vec<RunResult>> = cells
+        .into_inner()
+        .expect("cells")
+        .into_iter()
+        .map(|row| row.into_iter().map(|c| c.expect("job ran")).collect())
+        .collect();
+    let arc = Arc::new(runs);
+    cache
+        .lock()
+        .expect("threshold cache")
+        .push((scale.name, Arc::clone(&arc)));
+    arc
+}

@@ -1,0 +1,59 @@
+//! Table 1: hardware overheads of the cooperative-partitioning scheme.
+
+use coop_core::HardwareOverhead;
+use memsim::CacheGeometry;
+use simkit::table::Table;
+
+use crate::experiments::Experiment;
+
+/// Builds Table 1: published numbers side by side with the values computed
+/// from the stated cache geometries.
+pub fn table() -> Experiment {
+    let mut t = Table::new(vec![
+        "Hardware".to_string(),
+        "2-core (paper)".to_string(),
+        "2-core (computed)".to_string(),
+        "4-core (paper)".to_string(),
+        "4-core (computed)".to_string(),
+    ]);
+    let p2 = HardwareOverhead::paper_table1(2);
+    let p4 = HardwareOverhead::paper_table1(4);
+    let c2 = HardwareOverhead::for_geometry(CacheGeometry::new(2 << 20, 8, 64), 2);
+    let c4 = HardwareOverhead::for_geometry(CacheGeometry::new(4 << 20, 16, 64), 4);
+    let row = |name: &str, f: fn(&HardwareOverhead) -> u64| {
+        vec![
+            name.to_string(),
+            f(&p2).to_string(),
+            f(&c2).to_string(),
+            f(&p4).to_string(),
+            f(&c4).to_string(),
+        ]
+    };
+    t.row(row("Takeover Bit Vectors", |h| h.takeover_bits));
+    t.row(row("RAP", |h| h.rap_bits));
+    t.row(row("WAP", |h| h.wap_bits));
+    t.row(row("Total", |h| h.total_bits()));
+    Experiment {
+        id: "Table 1".to_string(),
+        title: "Hardware overheads of cooperative partitioning".to_string(),
+        table: t,
+        notes: vec![
+            "paper's table assumes 2048 sets; the stated 2MB/8-way/64B and 4MB/16-way/64B geometries both give 4096 sets, so the computed vectors are 2x the published bits"
+                .to_string(),
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_four_rows_and_totals() {
+        let e = table();
+        assert_eq!(e.table.len(), 4);
+        let text = e.table.render();
+        assert!(text.contains("4128"), "paper two-core total");
+        assert!(text.contains("8320"), "paper four-core total");
+    }
+}

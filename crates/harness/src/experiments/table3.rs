@@ -1,0 +1,48 @@
+//! Table 3: solo LLC MPKI classification of the 19 benchmark models,
+//! measured against the paper's published values.
+
+use simkit::table::Table;
+use workloads::{classify_mpki, Benchmark};
+
+use crate::experiments::Experiment;
+use crate::scale::SimScale;
+use crate::solo;
+
+/// Builds Table 3 by running every benchmark solo in the two-core LLC.
+pub fn table(scale: SimScale) -> Experiment {
+    let llc = solo::solo_llc_two_core();
+    let mut t = Table::new(vec![
+        "Benchmark".to_string(),
+        "MPKI (paper)".to_string(),
+        "MPKI (measured)".to_string(),
+        "Class (paper)".to_string(),
+        "Class (measured)".to_string(),
+        "Match".to_string(),
+    ]);
+    let mut matches = 0;
+    for b in Benchmark::ALL {
+        let r = solo::solo_result(b, llc, scale);
+        let paper_class = classify_mpki(b.paper_mpki());
+        let measured_class = classify_mpki(r.mpki);
+        let ok = paper_class == measured_class;
+        matches += usize::from(ok);
+        t.row(vec![
+            b.name().to_string(),
+            format!("{:.2}", b.paper_mpki()),
+            format!("{:.2}", r.mpki),
+            paper_class.to_string(),
+            measured_class.to_string(),
+            if ok { "yes" } else { "NO" }.to_string(),
+        ]);
+    }
+    Experiment {
+        id: "Table 3".to_string(),
+        title: "Workload classification by LLC MPKI".to_string(),
+        table: t,
+        notes: vec![format!(
+            "{matches}/{} models land in the paper's MPKI class at scale '{}'",
+            Benchmark::ALL.len(),
+            scale.name
+        )],
+    }
+}

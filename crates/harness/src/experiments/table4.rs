@@ -1,0 +1,47 @@
+//! Table 4: the workload groupings (an input of the evaluation, printed for
+//! completeness).
+
+use simkit::table::Table;
+use workloads::{four_core_groups, two_core_groups};
+
+use crate::experiments::Experiment;
+
+/// Renders Table 4.
+pub fn table() -> Experiment {
+    let mut t = Table::new(vec![
+        "Group".to_string(),
+        "Benchmarks".to_string(),
+        "Group".to_string(),
+        "Benchmarks".to_string(),
+    ]);
+    let two = two_core_groups();
+    let four = four_core_groups();
+    for (g2, g4) in two.iter().zip(four.iter()) {
+        let list = |g: &workloads::WorkloadGroup| {
+            g.benchmarks
+                .iter()
+                .map(|b| b.name())
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        t.row(vec![g2.name.clone(), list(g2), g4.name.clone(), list(g4)]);
+    }
+    Experiment {
+        id: "Table 4".to_string(),
+        title: "Workload groupings".to_string(),
+        table: t,
+        notes: vec!["input of the evaluation; reproduced verbatim from the paper".to_string()],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn renders_all_groups() {
+        let e = super::table();
+        assert_eq!(e.table.len(), 14);
+        let text = e.table.render();
+        assert!(text.contains("G2-8"));
+        assert!(text.contains("G4-13"));
+    }
+}

@@ -1,0 +1,28 @@
+//! # harness — experiment runners for every table and figure
+//!
+//! Glues the substrates together into the paper's evaluation platform:
+//!
+//! * [`system::System`] — N cores (`cpusim`) + private L1s + the partitioned
+//!   shared LLC (`coop-core`) + banked DRAM (`memsim`), cycle-stepped with
+//!   fast-forwarding and periodic partitioning epochs;
+//! * [`solo`] — per-benchmark solo baselines (IPC-alone for weighted
+//!   speedup, solo MPKI for Table 3, per-epoch miss curves as the Dynamic
+//!   CPE profile), memoized process-wide;
+//! * [`metrics`] — weighted speedup and normalization helpers;
+//! * [`scale::SimScale`] — reduced-scale presets (the paper runs 1 B
+//!   instructions per app with 5 M-cycle epochs; the default reproduction
+//!   scale divides both by ~100, overridable via `COOP_SCALE`);
+//! * [`experiments`] — one module per paper table/figure, each returning a
+//!   printable table plus raw series.
+//!
+//! The `repro` binary drives everything:
+//! `repro all`, `repro fig5`, `repro table3 --scale medium`, ...
+
+pub mod experiments;
+pub mod metrics;
+pub mod scale;
+pub mod solo;
+pub mod system;
+
+pub use scale::SimScale;
+pub use system::{RunResult, System, SystemConfig};

@@ -1,0 +1,133 @@
+//! Per-benchmark solo baselines, memoized process-wide.
+//!
+//! Weighted speedup needs `IPC_alone` (each application running alone in the
+//! full LLC); Table 3 needs solo MPKI; the Dynamic CPE scheme needs solo
+//! per-epoch miss curves as its profile. All three come from one solo run
+//! per (benchmark, LLC geometry, scale), cached for the life of the process
+//! so the 14-group sweeps don't re-run them.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+use coop_core::{LlcConfig, MissCurve, SchemeKind};
+use workloads::Benchmark;
+
+use crate::scale::SimScale;
+use crate::system::{System, SystemConfig};
+
+/// Results of one solo run.
+#[derive(Debug, Clone)]
+pub struct SoloResult {
+    /// IPC of the application alone in the full cache.
+    pub ipc: f64,
+    /// Solo LLC misses per kilo-instruction (Table 3's metric).
+    pub mpki: f64,
+    /// Solo LLC accesses per kilo-instruction.
+    pub apki: f64,
+    /// Per-epoch UMON miss curves (the Dynamic CPE profile).
+    pub epoch_curves: Vec<MissCurve>,
+}
+
+type Key = (Benchmark, u64, usize, &'static str);
+
+fn cache() -> &'static Mutex<HashMap<Key, Arc<SoloResult>>> {
+    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<SoloResult>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Runs (or fetches from cache) the solo baseline for `benchmark` in the
+/// cache geometry of `llc` at `scale`.
+pub fn solo_result(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Arc<SoloResult> {
+    let key: Key = (
+        benchmark,
+        llc.geom.size_bytes(),
+        llc.geom.ways(),
+        scale.name,
+    );
+    if let Some(hit) = cache().lock().expect("poisoned solo cache").get(&key) {
+        return Arc::clone(hit);
+    }
+    let run = System::new(SystemConfig::solo(benchmark, llc, scale)).run();
+    let result = Arc::new(SoloResult {
+        ipc: run.ipc[0],
+        mpki: run.mpki[0],
+        apki: run.apki[0],
+        epoch_curves: run.epoch_curves,
+    });
+    cache()
+        .lock()
+        .expect("poisoned solo cache")
+        .insert(key, Arc::clone(&result));
+    result
+}
+
+/// Solo IPCs for a whole group (in benchmark order).
+pub fn ipc_alone(benchmarks: &[Benchmark], llc: LlcConfig, scale: SimScale) -> Vec<f64> {
+    benchmarks
+        .iter()
+        .map(|&b| solo_result(b, llc, scale).ipc)
+        .collect()
+}
+
+/// The Dynamic CPE profile for a group: per core, the solo per-epoch curves.
+pub fn cpe_profile(
+    benchmarks: &[Benchmark],
+    llc: LlcConfig,
+    scale: SimScale,
+) -> coop_core::cpe::CpeProfile {
+    coop_core::cpe::CpeProfile {
+        curves: benchmarks
+            .iter()
+            .map(|&b| solo_result(b, llc, scale).epoch_curves.clone())
+            .collect(),
+    }
+}
+
+/// Convenience: the two-core LLC geometry used for solo baselines.
+pub fn solo_llc_two_core() -> LlcConfig {
+    LlcConfig::two_core(SchemeKind::Ucp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimScale {
+        SimScale {
+            name: "solo-test",
+            warmup_instrs: 80_000,
+            instrs_per_app: 150_000,
+            epoch_cycles: 40_000,
+            max_cycles: 40_000_000,
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_arc() {
+        let a = solo_result(Benchmark::Namd, solo_llc_two_core(), quick());
+        let b = solo_result(Benchmark::Namd, solo_llc_two_core(), quick());
+        assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
+    }
+
+    #[test]
+    fn streaming_beats_hot_in_mpki() {
+        let lbm = solo_result(Benchmark::Lbm, solo_llc_two_core(), quick());
+        let namd = solo_result(Benchmark::Namd, solo_llc_two_core(), quick());
+        assert!(
+            lbm.mpki > namd.mpki * 4.0,
+            "lbm {} vs namd {}",
+            lbm.mpki,
+            namd.mpki
+        );
+    }
+
+    #[test]
+    fn group_helpers_align_with_benchmarks() {
+        let benchmarks = [Benchmark::Milc, Benchmark::Povray];
+        let ipcs = ipc_alone(&benchmarks, solo_llc_two_core(), quick());
+        assert_eq!(ipcs.len(), 2);
+        let prof = cpe_profile(&benchmarks, solo_llc_two_core(), quick());
+        assert_eq!(prof.curves.len(), 2);
+        assert!(!prof.curves[0].is_empty());
+    }
+}

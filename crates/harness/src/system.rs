@@ -1,0 +1,403 @@
+//! The full simulated system: cores + L1s + partitioned LLC + DRAM.
+
+use coop_core::cpe::CpeProfile;
+use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+use cpusim::{Core, CoreConfig, LlcPort};
+use energy::{EnergyCounts, EnergyParams, EnergyReport};
+use memsim::{Dram, DramConfig};
+use serde::{Deserialize, Serialize};
+use simkit::types::{CoreId, Cycle, LineAddr};
+use workloads::{Benchmark, SyntheticSource};
+
+use crate::scale::SimScale;
+
+/// Configuration of a whole simulated system run.
+#[derive(Debug, Clone)]
+pub struct SystemConfig {
+    /// The benchmarks to run, one per core.
+    pub benchmarks: Vec<Benchmark>,
+    /// Partitioning scheme and LLC parameters.
+    pub llc: LlcConfig,
+    /// Core microarchitecture.
+    pub core: CoreConfig,
+    /// Memory system.
+    pub dram: DramConfig,
+    /// Simulation scale.
+    pub scale: SimScale,
+    /// Root seed (varies reference streams deterministically).
+    pub seed: u64,
+}
+
+impl SystemConfig {
+    /// Paper two-core system for a benchmark pair.
+    pub fn two_core(benchmarks: Vec<Benchmark>, scheme: SchemeKind, scale: SimScale) -> Self {
+        assert_eq!(benchmarks.len(), 2);
+        SystemConfig {
+            benchmarks,
+            llc: LlcConfig::two_core(scheme).with_epoch(scale.epoch_cycles),
+            core: CoreConfig::default(),
+            dram: DramConfig::default(),
+            scale,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Paper four-core system for a benchmark quartet.
+    pub fn four_core(benchmarks: Vec<Benchmark>, scheme: SchemeKind, scale: SimScale) -> Self {
+        assert_eq!(benchmarks.len(), 4);
+        SystemConfig {
+            benchmarks,
+            llc: LlcConfig::four_core(scheme).with_epoch(scale.epoch_cycles),
+            core: CoreConfig::default(),
+            dram: DramConfig::default(),
+            scale,
+            seed: 0x5EED,
+        }
+    }
+
+    /// Single benchmark alone in the full cache (for baselines/profiles).
+    /// Runs under UCP so the utility monitor stays active (with one core the
+    /// allocation is the whole cache, identical to an unmanaged run).
+    pub fn solo(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Self {
+        let mut llc = llc.with_epoch(scale.epoch_cycles);
+        llc.scheme = SchemeKind::Ucp;
+        SystemConfig {
+            benchmarks: vec![benchmark],
+            llc,
+            core: CoreConfig::default(),
+            dram: DramConfig::default(),
+            scale,
+            seed: 0x5EED,
+        }
+    }
+}
+
+/// Everything measured in one run (within the measurement window, i.e.
+/// after warm-up).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Scheme that produced the run.
+    pub scheme: SchemeKind,
+    /// Per-core IPC over each core's own measurement window.
+    pub ipc: Vec<f64>,
+    /// Per-core LLC misses per kilo-instruction.
+    pub mpki: Vec<f64>,
+    /// Per-core LLC accesses per kilo-instruction.
+    pub apki: Vec<f64>,
+    /// Raw energy-event counts for the window.
+    pub counts: EnergyCounts,
+    /// Evaluated energies for the window.
+    pub energy: EnergyReport,
+    /// Average tag ways consulted per demand access.
+    pub avg_ways: f64,
+    /// Cycles simulated in the window (to the last core's finish).
+    pub cycles: u64,
+    /// Cooperative-takeover transfer durations (cycles).
+    pub cp_transfer_durations: Vec<u64>,
+    /// UCP migration durations (cycles).
+    pub ucp_transfer_durations: Vec<u64>,
+    /// Figure-14 takeover event counts
+    /// (recipient-miss, recipient-hit, donor-miss, donor-hit).
+    pub takeover_events: [u64; 4],
+    /// Transfers that needed the force-complete timeout.
+    pub forced_transfers: u64,
+    /// Lines flushed by partitioning activity.
+    pub flush_lines: u64,
+    /// Flush traffic bucketed by cycles since the last decision.
+    pub flush_series: Vec<f64>,
+    /// Bucket width of `flush_series` in cycles.
+    pub flush_bucket: u64,
+    /// Partitioning decisions that actually changed the allocation.
+    pub repartitions: u64,
+    /// Per-epoch UMON miss curves of core 0 (used when profiling solo runs
+    /// for the Dynamic CPE scheme).
+    pub epoch_curves: Vec<coop_core::MissCurve>,
+}
+
+impl RunResult {
+    /// Weighted speedup against per-core solo IPCs.
+    pub fn weighted_speedup(&self, ipc_alone: &[f64]) -> f64 {
+        crate::metrics::weighted_speedup(&self.ipc, ipc_alone)
+    }
+}
+
+/// The assembled system.
+pub struct System {
+    cfg: SystemConfig,
+    cores: Vec<Core>,
+    llc: PartitionedLlc,
+    dram: Dram,
+    now: Cycle,
+}
+
+struct SharedMem<'a> {
+    llc: &'a mut PartitionedLlc,
+    dram: &'a mut Dram,
+}
+
+impl LlcPort for SharedMem<'_> {
+    fn access(&mut self, now: Cycle, core: CoreId, line: LineAddr, write: bool) -> Cycle {
+        self.llc.access(now, core, line, write, self.dram)
+    }
+    fn writeback(&mut self, now: Cycle, core: CoreId, line: LineAddr) {
+        self.llc.writeback(now, core, line, self.dram);
+    }
+}
+
+impl System {
+    /// Builds the system: one core + source per benchmark, the shared LLC
+    /// and DRAM.
+    pub fn new(cfg: SystemConfig) -> System {
+        let n = cfg.benchmarks.len();
+        let cores = cfg
+            .benchmarks
+            .iter()
+            .enumerate()
+            .map(|(i, b)| {
+                let source = SyntheticSource::new(b.model(), cfg.seed ^ ((i as u64) << 32));
+                Core::new(CoreId(i as u8), cfg.core, Box::new(source))
+            })
+            .collect();
+        System {
+            cores,
+            llc: PartitionedLlc::new(cfg.llc, n),
+            dram: Dram::new(cfg.dram),
+            now: Cycle::ZERO,
+            cfg,
+        }
+    }
+
+    /// Installs the Dynamic CPE solo profile (no-op for other schemes).
+    pub fn set_cpe_profile(&mut self, profile: CpeProfile) {
+        self.llc.set_cpe_profile(profile);
+    }
+
+    /// Runs warm-up + measurement and returns the results.
+    ///
+    /// Matches the paper's methodology: caches and predictors warm first
+    /// (instruction-based, `warmup_instrs` per application); each
+    /// application is then measured over its next `instrs_per_app`
+    /// instructions; all applications keep running (and keep contending for
+    /// the cache) until the slowest reaches its target.
+    pub fn run(mut self) -> RunResult {
+        let n = self.cores.len();
+        let scale = self.cfg.scale;
+        let uses_umon = matches!(
+            self.cfg.llc.scheme,
+            SchemeKind::Ucp | SchemeKind::Cooperative
+        );
+
+        // ---- Warm-up ----------------------------------------------------
+        let mut next_epoch = Cycle(self.cfg.llc.epoch_cycles);
+        let mut epoch_curves: Vec<coop_core::MissCurve> = Vec::new();
+        while self
+            .cores
+            .iter()
+            .any(|c| c.retired() < scale.warmup_instrs)
+            && self.now < Cycle(scale.max_cycles / 2)
+        {
+            self.step_all(&mut next_epoch, &mut epoch_curves, false);
+        }
+
+        // ---- Measurement window ----------------------------------------
+        let window_start = self.now;
+        let base_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
+        let base_accesses: Vec<u64> = (0..n)
+            .map(|i| self.llc.stats().per_core[i].accesses.get())
+            .collect();
+        let base_misses: Vec<u64> = (0..n)
+            .map(|i| self.llc.stats().per_core[i].misses.get())
+            .collect();
+        let base_flush = self.llc.stats().flush_lines.get();
+        let base_counts = self.llc.energy_counts(self.now);
+
+        let target: Vec<u64> = base_retired
+            .iter()
+            .map(|&b| b + scale.instrs_per_app)
+            .collect();
+        let mut finish: Vec<Option<Cycle>> = vec![None; n];
+        epoch_curves.clear();
+
+        while finish.iter().any(|f| f.is_none()) && self.now < Cycle(scale.max_cycles) {
+            self.step_all(&mut next_epoch, &mut epoch_curves, uses_umon);
+            for i in 0..n {
+                if finish[i].is_none() && self.cores[i].retired() >= target[i] {
+                    finish[i] = Some(self.now);
+                }
+            }
+        }
+        let end = self.now;
+        for f in &mut finish {
+            // A run capped by max_cycles reports the cap (flagged by tests).
+            f.get_or_insert(end);
+        }
+
+        // ---- Collect ----------------------------------------------------
+        let ipc: Vec<f64> = (0..n)
+            .map(|i| {
+                let cycles = (finish[i].expect("filled") - window_start).max(1);
+                scale.instrs_per_app as f64 / cycles as f64
+            })
+            .collect();
+        let kilo = scale.instrs_per_app as f64 / 1000.0;
+        let mpki: Vec<f64> = (0..n)
+            .map(|i| {
+                (self.llc.stats().per_core[i].misses.get() - base_misses[i]) as f64 / kilo
+            })
+            .collect();
+        let apki: Vec<f64> = (0..n)
+            .map(|i| {
+                (self.llc.stats().per_core[i].accesses.get() - base_accesses[i]) as f64 / kilo
+            })
+            .collect();
+        let counts = minus(self.llc.energy_counts(end), base_counts);
+        let params = EnergyParams::for_llc(
+            self.cfg.llc.geom.size_bytes(),
+            self.cfg.llc.geom.ways(),
+        );
+        let flush_series_ts = self.llc.stats().flush_series.clone();
+
+        RunResult {
+            scheme: self.cfg.llc.scheme,
+            ipc,
+            mpki,
+            apki,
+            counts,
+            energy: params.evaluate(&counts),
+            avg_ways: self.llc.avg_ways_consulted(),
+            cycles: end - window_start,
+            cp_transfer_durations: self.llc.takeover().durations().to_vec(),
+            ucp_transfer_durations: self.llc.ucp_transfer_durations().to_vec(),
+            takeover_events: self.llc.takeover().event_counts(),
+            forced_transfers: self.llc.takeover().forced_count(),
+            flush_lines: self.llc.stats().flush_lines.get() - base_flush,
+            flush_series: flush_series_ts.values().to_vec(),
+            flush_bucket: flush_series_ts.bucket_cycles(),
+            repartitions: self.llc.stats().repartitions.get(),
+            epoch_curves,
+        }
+    }
+
+    /// Steps every core once at `now`, fires the epoch controller, and
+    /// advances time (fast-forwarding when every core is stalled).
+    fn step_all(
+        &mut self,
+        next_epoch: &mut Cycle,
+        epoch_curves: &mut Vec<coop_core::MissCurve>,
+        snapshot_curves: bool,
+    ) {
+        let mut next = Cycle(u64::MAX);
+        for core in &mut self.cores {
+            let mut port = SharedMem {
+                llc: &mut self.llc,
+                dram: &mut self.dram,
+            };
+            let out = core.step(self.now, &mut port);
+            next = next.min(out.next_event);
+        }
+        if self.now >= *next_epoch {
+            if snapshot_curves {
+                epoch_curves.push(self.llc.umon_curve(CoreId(0)));
+            }
+            self.llc.on_epoch(self.now, &mut self.dram);
+            *next_epoch = self.now + self.cfg.llc.epoch_cycles;
+        }
+        next = next.min(*next_epoch);
+        self.now = next.max(self.now + 1);
+    }
+}
+
+fn minus(a: EnergyCounts, b: EnergyCounts) -> EnergyCounts {
+    EnergyCounts {
+        tag_way_probes: a.tag_way_probes - b.tag_way_probes,
+        data_reads: a.data_reads - b.data_reads,
+        data_writes: a.data_writes - b.data_writes,
+        umon_probes: a.umon_probes - b.umon_probes,
+        vector_accesses: a.vector_accesses - b.vector_accesses,
+        on_way_cycles: a.on_way_cycles - b.on_way_cycles,
+        gated_way_cycles: a.gated_way_cycles - b.gated_way_cycles,
+        total_cycles: a.total_cycles - b.total_cycles,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_scale() -> SimScale {
+        SimScale {
+            name: "test",
+            warmup_instrs: 20_000,
+            instrs_per_app: 60_000,
+            epoch_cycles: 20_000,
+            max_cycles: 80_000_000,
+        }
+    }
+
+    #[test]
+    fn two_core_run_produces_sane_metrics() {
+        let cfg = SystemConfig::two_core(
+            vec![Benchmark::Lbm, Benchmark::Namd],
+            SchemeKind::FairShare,
+            quick_scale(),
+        );
+        let r = System::new(cfg).run();
+        assert_eq!(r.ipc.len(), 2);
+        assert!(r.ipc.iter().all(|&i| i > 0.05 && i < 4.0), "{:?}", r.ipc);
+        assert!(r.mpki[0] > r.mpki[1], "lbm misses more than namd: {:?}", r.mpki);
+        assert!(r.counts.tag_way_probes > 0);
+        assert!(r.energy.dynamic_nj > 0.0);
+        assert_eq!(r.avg_ways, 4.0, "fair share probes its 4 ways");
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let mk = || {
+            SystemConfig::two_core(
+                vec![Benchmark::Soplex, Benchmark::Milc],
+                SchemeKind::Cooperative,
+                quick_scale(),
+            )
+        };
+        let a = System::new(mk()).run();
+        let b = System::new(mk()).run();
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.counts, b.counts);
+        assert_eq!(a.takeover_events, b.takeover_events);
+    }
+
+    #[test]
+    fn unmanaged_probes_all_ways_cooperative_fewer() {
+        let scale = quick_scale();
+        let un = System::new(SystemConfig::two_core(
+            vec![Benchmark::Soplex, Benchmark::Namd],
+            SchemeKind::Unmanaged,
+            scale,
+        ))
+        .run();
+        let cp = System::new(SystemConfig::two_core(
+            vec![Benchmark::Soplex, Benchmark::Namd],
+            SchemeKind::Cooperative,
+            scale,
+        ))
+        .run();
+        assert_eq!(un.avg_ways, 8.0);
+        assert!(
+            cp.avg_ways < 6.0,
+            "cooperative should probe far fewer ways: {}",
+            cp.avg_ways
+        );
+    }
+
+    #[test]
+    fn solo_run_yields_profile_curves() {
+        let cfg = SystemConfig::solo(
+            Benchmark::Gcc,
+            coop_core::LlcConfig::two_core(SchemeKind::Ucp),
+            quick_scale(),
+        );
+        let r = System::new(cfg).run();
+        assert!(!r.epoch_curves.is_empty(), "profiles captured per epoch");
+        assert_eq!(r.ipc.len(), 1);
+    }
+}

@@ -1,0 +1,181 @@
+//! Miss-status holding registers (MSHRs) with request merging.
+//!
+//! An MSHR file tracks outstanding misses by line address. A second miss to a
+//! line already in flight merges (it completes when the first fill returns),
+//! and a full file back-pressures the requester.
+
+use std::collections::HashMap;
+
+use simkit::types::{Cycle, LineAddr};
+use simkit::Counter;
+
+/// Outcome of asking the MSHR file to track a miss.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MshrOutcome {
+    /// A new entry was allocated; the caller must schedule the fill and call
+    /// [`MshrFile::set_completion`].
+    Allocated,
+    /// The line was already outstanding; it completes at the given cycle.
+    Merged(Cycle),
+    /// No free entry; retry once an in-flight miss completes (hint cycle).
+    Full(Cycle),
+}
+
+/// A fixed-capacity MSHR file.
+///
+/// Entries expire automatically: any entry whose completion is `<= now` at
+/// the time of an operation is considered retired and reclaimed lazily.
+#[derive(Debug, Clone)]
+pub struct MshrFile {
+    capacity: usize,
+    // line -> completion cycle (Cycle::MAX-like sentinel until scheduled).
+    entries: HashMap<u64, Cycle>,
+    /// Merged (secondary) misses observed.
+    pub merges: Counter,
+    /// Times the file was full and stalled a requester.
+    pub stalls: Counter,
+}
+
+const UNSCHEDULED: Cycle = Cycle(u64::MAX);
+
+impl MshrFile {
+    /// Creates a file with room for `capacity` outstanding misses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> MshrFile {
+        assert!(capacity > 0);
+        MshrFile {
+            capacity,
+            entries: HashMap::with_capacity(capacity),
+            merges: Counter::default(),
+            stalls: Counter::default(),
+        }
+    }
+
+    /// Number of live (not yet completed) entries at `now`.
+    pub fn live(&self, now: Cycle) -> usize {
+        self.entries.values().filter(|&&c| c > now).count()
+    }
+
+    /// Tries to track a miss on `line` at cycle `now`.
+    pub fn begin(&mut self, now: Cycle, line: LineAddr) -> MshrOutcome {
+        self.sweep(now);
+        if let Some(&done) = self.entries.get(&line.raw()) {
+            if done > now {
+                self.merges.inc();
+                return MshrOutcome::Merged(done);
+            }
+        }
+        if self.entries.len() >= self.capacity {
+            self.stalls.inc();
+            let earliest = self
+                .entries
+                .values()
+                .copied()
+                .min()
+                .unwrap_or(now + 1)
+                .max(now + 1);
+            return MshrOutcome::Full(earliest);
+        }
+        self.entries.insert(line.raw(), UNSCHEDULED);
+        MshrOutcome::Allocated
+    }
+
+    /// Records the fill completion time for a previously allocated entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug builds) if the line has no entry.
+    pub fn set_completion(&mut self, line: LineAddr, done: Cycle) {
+        let e = self.entries.get_mut(&line.raw());
+        debug_assert!(e.is_some(), "set_completion without begin");
+        if let Some(slot) = e {
+            *slot = done;
+        }
+    }
+
+    /// Completion cycle of an outstanding line, if any.
+    pub fn completion_of(&self, line: LineAddr) -> Option<Cycle> {
+        self.entries
+            .get(&line.raw())
+            .copied()
+            .filter(|&c| c != UNSCHEDULED)
+    }
+
+    /// Drops entries that completed at or before `now`.
+    fn sweep(&mut self, now: Cycle) {
+        if self.entries.len() < self.capacity {
+            return; // lazy: only reclaim under pressure
+        }
+        self.entries.retain(|_, &mut done| done > now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use simkit::types::CoreId;
+
+    fn la(n: u64) -> LineAddr {
+        LineAddr::from_byte_addr(CoreId(0), n * 64, 64)
+    }
+
+    #[test]
+    fn allocate_then_merge() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.begin(Cycle(0), la(1)), MshrOutcome::Allocated);
+        m.set_completion(la(1), Cycle(400));
+        assert_eq!(m.begin(Cycle(10), la(1)), MshrOutcome::Merged(Cycle(400)));
+        assert_eq!(m.merges.get(), 1);
+        assert_eq!(m.completion_of(la(1)), Some(Cycle(400)));
+    }
+
+    #[test]
+    fn full_file_stalls_with_hint() {
+        let mut m = MshrFile::new(2);
+        m.begin(Cycle(0), la(1));
+        m.set_completion(la(1), Cycle(100));
+        m.begin(Cycle(0), la(2));
+        m.set_completion(la(2), Cycle(200));
+        match m.begin(Cycle(0), la(3)) {
+            MshrOutcome::Full(hint) => assert_eq!(hint, Cycle(100)),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        assert_eq!(m.stalls.get(), 1);
+    }
+
+    #[test]
+    fn completed_entries_are_reclaimed() {
+        let mut m = MshrFile::new(2);
+        m.begin(Cycle(0), la(1));
+        m.set_completion(la(1), Cycle(100));
+        m.begin(Cycle(0), la(2));
+        m.set_completion(la(2), Cycle(100));
+        // At cycle 150 both retired; new allocations succeed.
+        assert_eq!(m.live(Cycle(150)), 0);
+        assert_eq!(m.begin(Cycle(150), la(3)), MshrOutcome::Allocated);
+        assert_eq!(m.begin(Cycle(150), la(4)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn expired_entry_is_not_merged() {
+        let mut m = MshrFile::new(4);
+        m.begin(Cycle(0), la(1));
+        m.set_completion(la(1), Cycle(50));
+        // After completion, a new miss to the same line allocates afresh.
+        assert_eq!(m.begin(Cycle(60), la(1)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn live_counts_only_inflight() {
+        let mut m = MshrFile::new(4);
+        m.begin(Cycle(0), la(1));
+        m.set_completion(la(1), Cycle(10));
+        m.begin(Cycle(0), la(2));
+        m.set_completion(la(2), Cycle(1000));
+        assert_eq!(m.live(Cycle(5)), 2);
+        assert_eq!(m.live(Cycle(500)), 1);
+    }
+}

@@ -1,0 +1,28 @@
+//! # simkit — simulation kernel
+//!
+//! Foundation types shared by every crate in the Cooperative Partitioning
+//! reproduction: strongly-typed cycles and core identifiers, deterministic
+//! seeded random-number streams, statistics primitives (counters, histograms,
+//! bucketed time series) and plain-text table rendering used by the
+//! experiment harness.
+//!
+//! The simulator is fully deterministic: all randomness flows through
+//! [`rng::DetRng`] streams derived from a root seed, so the same configuration
+//! always produces bit-identical results.
+//!
+//! ```
+//! use simkit::types::{CoreId, Cycle};
+//!
+//! let c = Cycle(100);
+//! assert_eq!(c + 15, Cycle(115));
+//! assert_eq!(CoreId(1).index(), 1);
+//! ```
+
+pub mod rng;
+pub mod stats;
+pub mod table;
+pub mod types;
+
+pub use rng::DetRng;
+pub use stats::{geometric_mean, Counter, Histogram, TimeSeries};
+pub use types::{CoreId, Cycle};

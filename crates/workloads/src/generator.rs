@@ -1,0 +1,356 @@
+//! Turns a [`BenchmarkModel`] into an infinite deterministic instruction
+//! stream.
+
+use cpusim::{Instr, InstrSource};
+use simkit::DetRng;
+
+use crate::model::{BenchmarkModel, Pattern};
+
+/// Deterministic instruction generator for one benchmark instance.
+///
+/// Two instances built with the same model and seed produce identical
+/// streams; different seeds (e.g. per core) decorrelate the random
+/// components while keeping every run reproducible.
+pub struct SyntheticSource {
+    model: BenchmarkModel,
+    rng: DetRng,
+    /// Per-component progress counters (streams and loops).
+    counters: Vec<u64>,
+    /// Per-component base offsets so distinct components never alias.
+    bases: Vec<u64>,
+    /// Current effective weights (phase-adjusted).
+    weights: Vec<f64>,
+    phase_idx: usize,
+    phase_left: u64,
+    instrs_emitted: u64,
+    pc_offset: u64,
+    block_left: u64,
+}
+
+impl std::fmt::Debug for SyntheticSource {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SyntheticSource")
+            .field("benchmark", &self.model.name)
+            .field("instrs_emitted", &self.instrs_emitted)
+            .finish()
+    }
+}
+
+impl SyntheticSource {
+    /// Creates a generator for `model`, seeded deterministically.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model fails [`BenchmarkModel::validate`].
+    pub fn new(model: BenchmarkModel, seed: u64) -> SyntheticSource {
+        model.validate().unwrap_or_else(|e| panic!("invalid model: {e}"));
+        let rng = DetRng::derive(seed, model.name);
+        // Separate components by 1 GiB so regions never overlap.
+        let bases = (0..model.components.len())
+            .map(|i| (i as u64) << 30)
+            .collect();
+        let weights = model.components.iter().map(|c| c.weight).collect();
+        let mut src = SyntheticSource {
+            counters: vec![0; model.components.len()],
+            bases,
+            weights,
+            phase_idx: 0,
+            phase_left: 0,
+            instrs_emitted: 0,
+            pc_offset: 0,
+            block_left: model.block_len,
+            model,
+            rng,
+        };
+        src.enter_phase(0);
+        src
+    }
+
+    /// The benchmark name this generator models.
+    pub fn name(&self) -> &'static str {
+        self.model.name
+    }
+
+    /// Instructions generated so far.
+    pub fn emitted(&self) -> u64 {
+        self.instrs_emitted
+    }
+
+    fn enter_phase(&mut self, idx: usize) {
+        if self.model.phases.is_empty() {
+            self.phase_left = u64::MAX;
+            return;
+        }
+        let idx = idx % self.model.phases.len();
+        self.phase_idx = idx;
+        self.phase_left = self.model.phases[idx].instrs;
+        for (i, c) in self.model.components.iter().enumerate() {
+            self.weights[i] = c.weight * self.model.phases[idx].weight_scale[i];
+        }
+        // Guard against a phase that zeroes every component.
+        if self.weights.iter().sum::<f64>() <= 0.0 {
+            self.weights = self.model.components.iter().map(|c| c.weight).collect();
+        }
+    }
+
+    fn advance_phase(&mut self) {
+        if self.model.phases.is_empty() {
+            return;
+        }
+        self.phase_left = self.phase_left.saturating_sub(1);
+        if self.phase_left == 0 {
+            let next = self.phase_idx + 1;
+            self.enter_phase(next);
+        }
+    }
+
+    fn next_pc(&mut self) -> u64 {
+        if self.block_left == 0 {
+            self.block_left = self.model.block_len;
+            // Jump to a skewed location in the code footprint: real programs
+            // spend most time in hot inner loops, so jump targets follow the
+            // same power-law shape as skewed data (hot head, long tail).
+            // Uniform targets would make every large-code benchmark flood
+            // the L1-I pathologically.
+            const CODE_SKEW: f64 = 6.0;
+            let slots = (self.model.code_bytes / 4) as f64;
+            self.pc_offset = (slots * self.rng.unit().powf(CODE_SKEW)) as u64 * 4;
+        } else {
+            self.block_left -= 1;
+            self.pc_offset = (self.pc_offset + 4) % self.model.code_bytes;
+        }
+        self.pc_offset
+    }
+
+    fn gen_mem(&mut self) -> (u64, bool) {
+        let idx = self.rng.weighted_index(&self.weights);
+        let comp = self.model.components[idx];
+        let base = self.bases[idx];
+        match comp.pattern {
+            Pattern::Stream { stride } => {
+                let off = (self.counters[idx] * stride) % comp.region_bytes;
+                self.counters[idx] += 1;
+                (base + off, false)
+            }
+            Pattern::Loop => {
+                let lines = comp.region_bytes / 64;
+                let off = (self.counters[idx] % lines) * 64;
+                self.counters[idx] += 1;
+                (base + off, false)
+            }
+            Pattern::RandomWs => {
+                let line = self.rng.below(comp.region_bytes / 64);
+                (base + line * 64, false)
+            }
+            Pattern::SkewedWs { theta } => {
+                let lines = (comp.region_bytes / 64) as f64;
+                let line = (lines * self.rng.unit().powf(theta)) as u64;
+                (base + line.min(comp.region_bytes / 64 - 1) * 64, false)
+            }
+            Pattern::PointerChase => {
+                let line = self.rng.below(comp.region_bytes / 64);
+                (base + line * 64, true)
+            }
+        }
+    }
+}
+
+impl InstrSource for SyntheticSource {
+    fn next_instr(&mut self) -> Instr {
+        self.instrs_emitted += 1;
+        let pc = self.next_pc();
+        let u = self.rng.unit();
+        let m = &self.model;
+        let instr = if u < m.load_frac {
+            let (addr, dep) = self.gen_mem();
+            let mut i = Instr::load(pc, addr);
+            i.dep_prev_load = dep;
+            i
+        } else if u < m.load_frac + m.store_frac {
+            let (addr, _) = self.gen_mem();
+            Instr::store(pc, addr)
+        } else if u < m.load_frac + m.store_frac + m.branch_frac {
+            let taken = self.rng.chance(m.branch_bias);
+            Instr::branch(pc, taken)
+        } else {
+            Instr::alu(pc)
+        };
+        // The instruction was generated under the current phase's weights;
+        // the phase counter advances afterwards.
+        self.advance_phase();
+        instr
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Component, Phase};
+    use std::collections::HashSet;
+
+    fn model() -> BenchmarkModel {
+        BenchmarkModel {
+            name: "gen-test",
+            load_frac: 0.3,
+            store_frac: 0.1,
+            branch_frac: 0.1,
+            branch_bias: 0.9,
+            code_bytes: 8 << 10,
+            block_len: 8,
+            components: vec![
+                Component {
+                    region_bytes: 1 << 20,
+                    pattern: Pattern::RandomWs,
+                    weight: 1.0,
+                },
+                Component {
+                    region_bytes: 64 << 20,
+                    pattern: Pattern::Stream { stride: 8 },
+                    weight: 1.0,
+                },
+            ],
+            phases: vec![],
+        }
+    }
+
+    #[test]
+    fn deterministic_across_instances() {
+        let mut a = SyntheticSource::new(model(), 7);
+        let mut b = SyntheticSource::new(model(), 7);
+        for _ in 0..1000 {
+            assert_eq!(a.next_instr(), b.next_instr());
+        }
+        assert_eq!(a.emitted(), 1000);
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SyntheticSource::new(model(), 1);
+        let mut b = SyntheticSource::new(model(), 2);
+        let same = (0..100)
+            .filter(|_| a.next_instr() == b.next_instr())
+            .count();
+        assert!(same < 100);
+    }
+
+    #[test]
+    fn instruction_mix_matches_fractions() {
+        let mut s = SyntheticSource::new(model(), 3);
+        let n = 100_000;
+        let mut loads = 0;
+        let mut stores = 0;
+        let mut branches = 0;
+        for _ in 0..n {
+            match s.next_instr().kind {
+                cpusim::InstrKind::Load => loads += 1,
+                cpusim::InstrKind::Store => stores += 1,
+                cpusim::InstrKind::Branch => branches += 1,
+                cpusim::InstrKind::Alu => {}
+            }
+        }
+        let f = |c: i32| c as f64 / n as f64;
+        assert!((f(loads) - 0.3).abs() < 0.02);
+        assert!((f(stores) - 0.1).abs() < 0.01);
+        assert!((f(branches) - 0.1).abs() < 0.01);
+    }
+
+    #[test]
+    fn stream_component_advances_lines() {
+        let mut m = model();
+        m.components.truncate(1);
+        m.components[0] = Component {
+            region_bytes: 1 << 30,
+            pattern: Pattern::Stream { stride: 64 },
+            weight: 1.0,
+        };
+        m.load_frac = 1.0;
+        m.store_frac = 0.0;
+        m.branch_frac = 0.0;
+        let mut s = SyntheticSource::new(m, 4);
+        let mut lines = HashSet::new();
+        for _ in 0..1000 {
+            lines.insert(s.next_instr().addr / 64);
+        }
+        assert_eq!(lines.len(), 1000, "every access is a fresh line");
+    }
+
+    #[test]
+    fn loop_component_cycles() {
+        let mut m = model();
+        m.components.truncate(1);
+        m.components[0] = Component {
+            region_bytes: 64 * 10, // 10 lines
+            pattern: Pattern::Loop,
+            weight: 1.0,
+        };
+        m.load_frac = 1.0;
+        m.store_frac = 0.0;
+        m.branch_frac = 0.0;
+        let mut s = SyntheticSource::new(m, 5);
+        let mut lines = HashSet::new();
+        for _ in 0..100 {
+            lines.insert(s.next_instr().addr / 64);
+        }
+        assert_eq!(lines.len(), 10, "loop revisits its footprint");
+    }
+
+    #[test]
+    fn pointer_chase_sets_dependence() {
+        let mut m = model();
+        m.components.truncate(1);
+        m.components[0] = Component {
+            region_bytes: 1 << 20,
+            pattern: Pattern::PointerChase,
+            weight: 1.0,
+        };
+        m.load_frac = 1.0;
+        m.store_frac = 0.0;
+        m.branch_frac = 0.0;
+        let mut s = SyntheticSource::new(m, 6);
+        for _ in 0..50 {
+            let i = s.next_instr();
+            assert!(i.dep_prev_load);
+        }
+    }
+
+    #[test]
+    fn phases_shift_component_mix() {
+        let mut m = model();
+        m.load_frac = 1.0;
+        m.store_frac = 0.0;
+        m.branch_frac = 0.0;
+        m.phases = vec![
+            Phase {
+                instrs: 1000,
+                weight_scale: vec![1.0, 0.0], // only RandomWs
+            },
+            Phase {
+                instrs: 1000,
+                weight_scale: vec![0.0, 1.0], // only Stream
+            },
+        ];
+        let mut s = SyntheticSource::new(m, 7);
+        // Phase 1: all addresses within the 1 MB region (plus base 0).
+        for _ in 0..1000 {
+            let i = s.next_instr();
+            assert!(i.addr < (1 << 20), "phase 1 stays in component 0");
+        }
+        // Phase 2: addresses in component 1's base range.
+        let mut saw_stream = false;
+        for _ in 0..1000 {
+            let i = s.next_instr();
+            if i.addr >= (1 << 30) {
+                saw_stream = true;
+            }
+        }
+        assert!(saw_stream, "phase 2 uses the stream component");
+    }
+
+    #[test]
+    fn pcs_stay_within_code_footprint() {
+        let mut s = SyntheticSource::new(model(), 8);
+        for _ in 0..10_000 {
+            assert!(s.next_instr().pc < 8 << 10);
+        }
+    }
+}

@@ -1,0 +1,214 @@
+//! Property-based tests (proptest) for the core data structures and the
+//! paper's invariants.
+
+use coop_partitioning::coop_core::takeover::{TakeoverState, Transition};
+use coop_partitioning::coop_core::{allocate, MissCurve, PermissionFile, TakeoverEventKind};
+use coop_partitioning::memsim::{CacheGeometry, CacheSet, WayMask};
+use coop_partitioning::simkit::types::{CoreId, Cycle, LineAddr};
+use proptest::prelude::*;
+
+/// Strategy: a non-increasing miss curve over `ways` ways plus an access
+/// count at least as large as the zero-way miss count.
+fn miss_curve(ways: usize) -> impl Strategy<Value = MissCurve> {
+    proptest::collection::vec(0.0f64..1000.0, ways)
+        .prop_map(move |drops| {
+            let mut values = Vec::with_capacity(ways + 1);
+            let total: f64 = drops.iter().sum::<f64>() + 1.0;
+            let mut current = total;
+            values.push(current);
+            for d in drops {
+                current -= d * (total - 0.0) / (total * 1.2);
+                current = current.max(0.0);
+                values.push(current);
+            }
+            MissCurve::new(values.clone(), values[0] + 10.0)
+        })
+}
+
+proptest! {
+    #[test]
+    fn lookahead_allocations_are_well_formed(
+        curves in proptest::collection::vec(miss_curve(8), 2..5),
+        threshold in 0.0f64..0.5,
+    ) {
+        let alloc = allocate(&curves, 8, threshold);
+        prop_assert_eq!(alloc.total(), 8, "ways conserved");
+        prop_assert!(alloc.ways.iter().all(|&w| w >= 1), "per-core minimum");
+        prop_assert_eq!(alloc.ways.len(), curves.len());
+    }
+
+    #[test]
+    fn lookahead_threshold_extremes(
+        curves in proptest::collection::vec(miss_curve(8), 2..4),
+    ) {
+        // Strict monotonicity in T does NOT hold (freezing one core can free
+        // balance for another's larger step), but the extremes are exact:
+        // T=0 distributes everything, a huge T grants only the minima, and
+        // any T stays within those bounds.
+        let n = curves.len();
+        let at_zero: usize = allocate(&curves, 8, 0.0).ways.iter().sum();
+        prop_assert_eq!(at_zero, 8, "T=0 is plain UCP look-ahead");
+        let at_max: usize = allocate(&curves, 8, 2.0).ways.iter().sum();
+        prop_assert_eq!(at_max, n, "an unattainable threshold grants only minima");
+        for t in [0.01, 0.05, 0.1, 0.3] {
+            let used: usize = allocate(&curves, 8, t).ways.iter().sum();
+            prop_assert!((n..=8).contains(&used), "T={} used {}", t, used);
+        }
+    }
+
+    #[test]
+    fn cache_set_lru_matches_reference_model(
+        ops in proptest::collection::vec((0u64..12, any::<bool>()), 1..200),
+    ) {
+        // Reference model: a Vec of tags, MRU first, capacity 4.
+        let mut reference: Vec<u64> = Vec::new();
+        let mut set = CacheSet::new(4);
+        let mask = WayMask::all(4);
+        for (tag, is_write) in ops {
+            match set.find(tag, mask) {
+                Some(way) => {
+                    set.touch(way);
+                    if is_write {
+                        set.line_mut(way).dirty = true;
+                    }
+                    let pos = reference.iter().position(|&t| t == tag).expect("in ref");
+                    let t = reference.remove(pos);
+                    reference.insert(0, t);
+                }
+                None => {
+                    let victim = set.victim(mask).expect("mask non-empty");
+                    // The victim must be invalid or the reference LRU.
+                    let line = set.line(victim);
+                    if line.valid {
+                        prop_assert_eq!(
+                            line.tag,
+                            *reference.last().expect("full set has an LRU"),
+                            "victim must be the least recently used line"
+                        );
+                        reference.pop();
+                    }
+                    set.fill(victim, tag, CoreId(0), is_write);
+                    reference.insert(0, tag);
+                    reference.truncate(4);
+                }
+            }
+            // Same resident tags in both models.
+            let mut resident: Vec<u64> = (0..4)
+                .filter(|&w| set.line(w).valid)
+                .map(|w| set.line(w).tag)
+                .collect();
+            resident.sort_unstable();
+            let mut expect = reference.clone();
+            expect.sort_unstable();
+            prop_assert_eq!(resident, expect);
+        }
+    }
+
+    #[test]
+    fn permission_protocol_preserves_invariants(
+        moves in proptest::collection::vec((0usize..8, 0u8..4, 0u8..4), 1..60),
+    ) {
+        // Random sequence of legal transfers: grant recipient, strip donor,
+        // complete. Invariants must hold at every step.
+        let mut perms = PermissionFile::new(8, 4);
+        for w in 0..8 {
+            perms.grant_full(w, CoreId((w % 4) as u8));
+        }
+        let mut owner: Vec<u8> = (0..8).map(|w| (w % 4) as u8).collect();
+        for (way, to, _junk) in moves {
+            let from = owner[way];
+            if from == to {
+                continue;
+            }
+            // Begin transition.
+            perms.grant_full(way, CoreId(to));
+            perms.revoke_write(way, CoreId(from));
+            prop_assert!(perms.check_invariants().is_ok());
+            prop_assert_eq!(perms.donor_of(way), Some(CoreId(from)));
+            // Complete.
+            perms.revoke_read(way, CoreId(from));
+            prop_assert!(perms.check_invariants().is_ok());
+            prop_assert_eq!(perms.full_owner(way), Some(CoreId(to)));
+            owner[way] = to;
+        }
+    }
+
+    #[test]
+    fn takeover_completes_exactly_when_every_set_marked(
+        sets in 1usize..150,
+        order in proptest::collection::vec(0usize..150, 0..400),
+    ) {
+        let mut st = TakeoverState::new(sets, 2);
+        st.begin(vec![Transition {
+            way: 0,
+            donor: CoreId(0),
+            recipient: Some(CoreId(1)),
+            started: Cycle(0),
+            epoch: 0,
+        }]);
+        let mut marked = vec![false; sets];
+        let mut done = false;
+        for (i, s) in order.into_iter().enumerate() {
+            let s = s % sets;
+            if done {
+                break;
+            }
+            let out = st.mark(Cycle(i as u64), CoreId(0), s, TakeoverEventKind::DonorHit);
+            prop_assert_eq!(out.newly_set, !marked[s]);
+            marked[s] = true;
+            done = !out.completed.is_empty();
+            prop_assert_eq!(done, marked.iter().all(|&m| m), "completion iff all sets");
+        }
+    }
+
+    #[test]
+    fn address_mapping_round_trips(
+        core in 0u8..4,
+        byte in 0u64..(1 << 40),
+    ) {
+        let geom = CacheGeometry::new(2 << 20, 8, 64);
+        let line = LineAddr::from_byte_addr(CoreId(core), byte, 64);
+        let tag = geom.tag(line);
+        let idx = geom.set_index(line);
+        prop_assert_eq!(geom.line_from(tag, idx), line);
+        prop_assert_eq!(line.home_core(), CoreId(core));
+        prop_assert!(idx < geom.sets());
+    }
+
+    #[test]
+    fn dram_completions_monotone_per_bank(
+        gaps in proptest::collection::vec(0u64..50, 1..100),
+    ) {
+        use coop_partitioning::memsim::{Dram, DramConfig};
+        let mut dram = Dram::new(DramConfig::default());
+        let mut now = Cycle(0);
+        let mut last_done = Cycle(0);
+        for g in gaps {
+            now += g;
+            // Same bank every time (line 0): completions must be ordered.
+            let done = dram.read(now, LineAddr::from_byte_addr(CoreId(0), 0, 64));
+            prop_assert!(done >= last_done);
+            prop_assert!(done >= now + 400, "at least the access latency");
+            last_done = done;
+        }
+    }
+
+    #[test]
+    fn umon_curve_is_monotone_for_any_stream(
+        tags in proptest::collection::vec(0u64..64, 1..500),
+    ) {
+        use coop_partitioning::coop_core::UtilityMonitor;
+        let mut umon = UtilityMonitor::new(16, 8, 0);
+        for (i, &t) in tags.iter().enumerate() {
+            umon.observe(i % 16, t);
+        }
+        let curve = umon.miss_curve();
+        for w in 0..8 {
+            prop_assert!(
+                curve.misses(w) + 1e-9 >= curve.misses(w + 1),
+                "stack property implies a non-increasing curve"
+            );
+        }
+        prop_assert!(curve.misses(0) <= curve.accesses() + 1e-9);
+    }
+}
