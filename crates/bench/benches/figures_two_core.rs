@@ -11,7 +11,11 @@ use workloads::Benchmark;
 
 fn bench_two_core(c: &mut Criterion) {
     let scale = SimScale::from_env_or(SimScale::tiny());
-    for metric in [Metric::WeightedSpeedup, Metric::DynamicEnergy, Metric::StaticEnergy] {
+    for metric in [
+        Metric::WeightedSpeedup,
+        Metric::DynamicEnergy,
+        Metric::StaticEnergy,
+    ] {
         println!("{}", figure(2, metric, scale).render());
     }
 

@@ -119,7 +119,9 @@ mod tests {
     fn over_subscription_shrinks_cheapest_losers() {
         // Both want everything; capacity forces sharing.
         let hungry = curve(&[90.0, 80.0, 70.0, 60.0, 50.0, 40.0, 30.0, 20.0, 10.0]);
-        let hungrier = curve(&[900.0, 800.0, 700.0, 600.0, 500.0, 400.0, 300.0, 200.0, 100.0]);
+        let hungrier = curve(&[
+            900.0, 800.0, 700.0, 600.0, 500.0, 400.0, 300.0, 200.0, 100.0,
+        ]);
         let alloc = cpe_allocate(&[&hungry, &hungrier], 8, 0.0);
         assert_eq!(alloc.ways.iter().sum::<usize>(), 8);
         assert!(
@@ -133,7 +135,10 @@ mod tests {
     #[test]
     fn profile_clamps_epoch_index() {
         let p = CpeProfile {
-            curves: vec![vec![MissCurve::flat(4, 1.0, 1.0), MissCurve::flat(4, 2.0, 1.0)]],
+            curves: vec![vec![
+                MissCurve::flat(4, 1.0, 1.0),
+                MissCurve::flat(4, 2.0, 1.0),
+            ]],
         };
         assert_eq!(p.curve(0, 0).unwrap().misses(0), 1.0);
         assert_eq!(p.curve(0, 99).unwrap().misses(0), 2.0);

@@ -345,8 +345,7 @@ impl PartitionedLlc {
         match self.cfg.scheme {
             SchemeKind::Unmanaged | SchemeKind::FairShare => {}
             SchemeKind::Ucp => {
-                let curves: Vec<MissCurve> =
-                    self.umons.iter().map(|u| u.miss_curve()).collect();
+                let curves: Vec<MissCurve> = self.umons.iter().map(|u| u.miss_curve()).collect();
                 let alloc = allocate(&curves, self.cfg.geom.ways(), 0.0);
                 if alloc.ways != self.ucp.quotas {
                     self.stats.repartitions.inc();
@@ -382,8 +381,7 @@ impl PartitionedLlc {
                     .epoch_index
                     .saturating_sub(self.cfg.transition_timeout_epochs as u64);
                 self.force_complete_where(now, dram, |t| t.epoch < cutoff);
-                let curves: Vec<MissCurve> =
-                    self.umons.iter().map(|u| u.miss_curve()).collect();
+                let curves: Vec<MissCurve> = self.umons.iter().map(|u| u.miss_curve()).collect();
                 let alloc = allocate(&curves, self.cfg.geom.ways(), self.cfg.threshold);
                 self.apply_cooperative(now, &alloc);
                 for u in &mut self.umons {
@@ -397,6 +395,9 @@ impl PartitionedLlc {
 
     /// Algorithm 2: sets RAP/WAP registers and starts cooperative takeover
     /// for a new allocation.
+    // The index walks `receive`, `donate` and `owned_ways` in lockstep, so a
+    // range loop is clearer than zipped iterators here.
+    #[allow(clippy::needless_range_loop)]
     fn apply_cooperative(&mut self, now: Cycle, alloc: &Allocation) {
         let n = self.cores;
         let mut pre = vec![0usize; n];
@@ -507,6 +508,8 @@ impl PartitionedLlc {
 
     /// Dynamic CPE: applies an allocation by immediately flushing every way
     /// that changes hands.
+    // The index walks `owned_ways` and `alloc.ways` in lockstep, as above.
+    #[allow(clippy::needless_range_loop)]
     fn apply_immediate(&mut self, now: Cycle, alloc: &Allocation, dram: &mut Dram) {
         let n = self.cores;
         let mut owned_ways: Vec<Vec<usize>> = vec![Vec::new(); n];
@@ -918,7 +921,8 @@ mod tests {
         let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Ucp), 2);
         let mut d = dram();
         // Manually skew quotas: core 0 gets 3 ways, core 1 gets 1.
-        llc.ucp.apply_decision(Cycle(0), &[3, 1], llc.cfg.geom.sets());
+        llc.ucp
+            .apply_decision(Cycle(0), &[3, 1], llc.cfg.geom.sets());
         // Core 1 fills the whole set 0 first (4 distinct lines mapping there).
         for i in 0..4u64 {
             llc.access(Cycle(i), CoreId(1), la(1, i * 64 * 64), false, &mut d);
@@ -945,7 +949,13 @@ mod tests {
             t += 1;
             // Core 1: two hot lines per set in set 3.
             for k in 0..2u64 {
-                llc.access(Cycle(t), CoreId(1), la(1, 3 * 64 + k * 64 * 64), false, &mut d);
+                llc.access(
+                    Cycle(t),
+                    CoreId(1),
+                    la(1, 3 * 64 + k * 64 * 64),
+                    false,
+                    &mut d,
+                );
                 t += 1;
             }
         }
@@ -1009,7 +1019,13 @@ mod tests {
         }]);
         let before = llc.ways_on();
         for s in 0..64u64 {
-            llc.access(Cycle(100 + s), CoreId(1), la(1, s * 64 + 64 * 64 * 8), false, &mut d);
+            llc.access(
+                Cycle(100 + s),
+                CoreId(1),
+                la(1, s * 64 + 64 * 64 * 8),
+                false,
+                &mut d,
+            );
         }
         assert_eq!(llc.ways_on(), before - 1, "way gated after drain");
         assert!(llc.stats().writebacks.get() >= 1, "dirty line flushed");
@@ -1053,7 +1069,7 @@ mod tests {
             "resident writeback stays in LLC"
         );
         // Non-resident writeback is forwarded to memory.
-        llc.writeback(Cycle(20), CoreId(0), la(0, 0xdead_000), &mut d);
+        llc.writeback(Cycle(20), CoreId(0), la(0, 0x0dea_d000), &mut d);
         assert_eq!(llc.stats().writebacks.get(), wb_before + 1);
     }
 

@@ -196,13 +196,13 @@ mod tests {
         let a = convex(&[100.0, 60.0, 40.0, 28.0, 20.0, 16.0, 13.0, 11.0, 10.0]);
         let b = convex(&[90.0, 70.0, 58.0, 50.0, 44.0, 40.0, 37.0, 35.0, 34.0]);
         assert_eq!(
-            allocate(&[a.clone(), b.clone()], 8, 0.0).ways.iter().sum::<usize>(),
+            allocate(&[a.clone(), b.clone()], 8, 0.0)
+                .ways
+                .iter()
+                .sum::<usize>(),
             8
         );
-        assert_eq!(
-            allocate(&[a.clone(), b.clone()], 8, 2.0).ways,
-            vec![1, 1]
-        );
+        assert_eq!(allocate(&[a.clone(), b.clone()], 8, 2.0).ways, vec![1, 1]);
         for t in [0.01, 0.05, 0.1, 0.2, 0.5] {
             let total: usize = allocate(&[a.clone(), b.clone()], 8, t).ways.iter().sum();
             assert!((2..=8).contains(&total), "T={t}: {total}");
@@ -234,6 +234,76 @@ mod tests {
     fn rejects_fewer_ways_than_cores() {
         let a = MissCurve::flat(1, 1.0, 1.0);
         allocate(&[a.clone(), a.clone(), a.clone()], 2, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_three_convex_curves() {
+        // Greedy marginal-utility allocation is exactly optimal when every
+        // curve is convex; validate against exhaustive search.
+        let a = convex(&[120.0, 70.0, 45.0, 30.0, 22.0, 17.0, 14.0, 12.0, 11.0]);
+        let b = convex(&[90.0, 55.0, 38.0, 28.0, 22.0, 18.0, 15.5, 14.0, 13.0]);
+        let c = convex(&[60.0, 45.0, 35.0, 28.0, 23.0, 19.5, 17.0, 15.5, 14.5]);
+        let curves = [a, b, c];
+        let alloc = allocate(&curves, 8, 0.0);
+        let opt = brute_force_optimum(&curves, 8);
+        let heuristic: f64 = curves
+            .iter()
+            .zip(alloc.ways.iter())
+            .map(|(cv, &w)| cv.misses(w))
+            .sum();
+        let optimal: f64 = curves
+            .iter()
+            .zip(opt.iter())
+            .map(|(cv, &w)| cv.misses(w))
+            .sum();
+        assert!(
+            heuristic <= optimal + 1e-9,
+            "3-core convex: {heuristic} vs optimal {optimal} ({:?} vs {opt:?})",
+            alloc.ways
+        );
+    }
+
+    #[test]
+    fn sees_past_flat_regions_on_non_convex_cliff_curves() {
+        // A cyclic working set produces a *non-convex* curve: no benefit at
+        // all until the footprint fits (4 ways), then a cliff. Single-step
+        // greedy would never grant the first way; look-ahead's multi-way
+        // `max_mu` step must jump the flat region (the reason UCP uses
+        // look-ahead at all, Qureshi & Patt's motivating case).
+        let cliff = convex(&[100.0, 100.0, 100.0, 100.0, 5.0, 5.0, 5.0, 5.0, 5.0]);
+        let soft = convex(&[60.0, 40.0, 28.0, 20.0, 15.0, 12.0, 10.0, 9.0, 8.0]);
+        let curves = [cliff, soft];
+        let alloc = allocate(&curves, 8, 0.0);
+        assert!(
+            alloc.ways[0] >= 4,
+            "cliff app must receive its whole footprint: {:?}",
+            alloc.ways
+        );
+        let opt = brute_force_optimum(&curves, 8);
+        let heuristic: f64 = curves[0].misses(alloc.ways[0]) + curves[1].misses(alloc.ways[1]);
+        let optimal: f64 = curves[0].misses(opt[0]) + curves[1].misses(opt[1]);
+        assert!(
+            heuristic <= optimal + 1e-9,
+            "non-convex cliff: {heuristic} vs optimal {optimal}"
+        );
+    }
+
+    #[test]
+    fn threshold_skips_cliff_smaller_than_its_gain_fraction() {
+        // The same cliff expressed over many accesses: the jump saves only
+        // 95/10000 < 1% of accesses, so T=0.05 must freeze the app rather
+        // than grant 3 extra ways for a sub-threshold gain.
+        let small_cliff = MissCurve::new(
+            vec![100.0, 100.0, 100.0, 100.0, 5.0, 5.0, 5.0, 5.0, 5.0],
+            10_000.0,
+        );
+        let hungry = convex(&[500.0, 260.0, 140.0, 80.0, 50.0, 35.0, 26.0, 21.0, 18.0]);
+        let alloc = allocate(&[small_cliff, hungry], 8, 0.05);
+        assert_eq!(
+            alloc.ways[0], 1,
+            "sub-threshold cliff must not be chased: {:?}",
+            alloc.ways
+        );
     }
 
     #[test]

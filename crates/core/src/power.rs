@@ -87,7 +87,7 @@ mod tests {
         p.power_off(Cycle(200), 1); // 3 on for next 100
         p.advance(Cycle(300)); // 2 on for next 100
         assert_eq!(p.on_way_cycles(), 400 + 300 + 200);
-        assert_eq!(p.gated_way_cycles(), 0 + 100 + 200);
+        assert_eq!(p.gated_way_cycles(), 100 + 200);
         assert_eq!(p.on_count(), 2);
     }
 

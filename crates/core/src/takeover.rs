@@ -145,8 +145,27 @@ impl TakeoverState {
     /// vector of every involved donor is reset (paper: even if that donor
     /// still has an older transition in flight — the older one just takes
     /// longer).
+    ///
+    /// # Panics
+    ///
+    /// Panics if a transition names a core outside `0..cores` — each core
+    /// owns exactly one bit vector, so an out-of-range donor has no vector
+    /// to track its drain.
     pub fn begin(&mut self, transitions: Vec<Transition>) {
         for t in &transitions {
+            assert!(
+                t.donor.index() < self.cores,
+                "donor {:?} out of range for {} cores",
+                t.donor,
+                self.cores
+            );
+            if let Some(r) = t.recipient {
+                assert!(
+                    r.index() < self.cores,
+                    "recipient {r:?} out of range for {} cores",
+                    self.cores
+                );
+            }
             let d = t.donor.index();
             self.vectors[d].iter_mut().for_each(|w| *w = 0);
             self.bits_set[d] = 0;
@@ -335,5 +354,101 @@ mod tests {
     fn event_order_matches_paper_legend() {
         assert_eq!(TakeoverEventKind::ALL[0].label(), "Recipient Misses");
         assert_eq!(TakeoverEventKind::ALL[3].label(), "Donor Hits");
+    }
+
+    #[test]
+    #[should_panic(expected = "donor")]
+    fn begin_rejects_out_of_range_donor() {
+        let mut st = TakeoverState::new(4, 2);
+        st.begin(vec![tr(0, 5, Some(0))]);
+    }
+
+    #[test]
+    #[should_panic(expected = "recipient")]
+    fn begin_rejects_out_of_range_recipient() {
+        let mut st = TakeoverState::new(4, 2);
+        st.begin(vec![tr(0, 1, Some(9))]);
+    }
+
+    #[test]
+    fn takeover_never_leaves_a_core_with_zero_ways() {
+        // Drive the full cooperative state machine (allocation -> RAP/WAP ->
+        // takeover) with an adversarial mix — core 0 streams with no reuse,
+        // so the allocator squeezes it toward the minimum every epoch while
+        // core 1's hot loop keeps forcing transitions. At every step each
+        // core must (a) keep at least one target way and (b) keep read
+        // access to at least one powered way: a zero-way core could not
+        // cache at all, which the paper's per-core minimum forbids.
+        use crate::config::LlcConfig;
+        use crate::llc::PartitionedLlc;
+        use crate::SchemeKind;
+        use memsim::{CacheGeometry, Dram, DramConfig};
+        use simkit::types::LineAddr;
+
+        let cfg = LlcConfig {
+            geom: CacheGeometry::new(32 << 10, 8, 64),
+            hit_latency: 15,
+            mshrs: 32,
+            scheme: SchemeKind::Cooperative,
+            epoch_cycles: 20_000,
+            threshold: 0.03,
+            umon_shift: 0,
+            seed: 11,
+            transition_timeout_epochs: 1,
+        };
+        let cores = 2;
+        let mut llc = PartitionedLlc::new(cfg, cores);
+        let mut dram = Dram::new(DramConfig::default());
+        let mut now = Cycle(0);
+        let mut next_epoch = Cycle(20_000);
+        for r in 0..40_000u64 {
+            // Core 0: pure stream. Core 1: 2-way hot set, phase-shifted
+            // every 10k rounds to keep repartitioning live.
+            llc.access(
+                now,
+                CoreId(0),
+                LineAddr::from_byte_addr(CoreId(0), r * 64, 64),
+                false,
+                &mut dram,
+            );
+            now += 20;
+            let base = (r / 10_000) * 64 * 64 * 16;
+            let set = r % 8;
+            for k in 0..2 {
+                let byte = base + set * 64 + k * 64 * 64;
+                llc.access(
+                    now,
+                    CoreId(1),
+                    LineAddr::from_byte_addr(CoreId(1), byte, 64),
+                    false,
+                    &mut dram,
+                );
+                now += 20;
+            }
+            if now >= next_epoch {
+                llc.on_epoch(now, &mut dram);
+                next_epoch = now + 20_000;
+                let alloc = llc.current_allocation();
+                for (c, &w) in alloc.iter().enumerate() {
+                    assert!(
+                        w >= 1,
+                        "epoch left core {c} with zero target ways: {alloc:?}"
+                    );
+                }
+                for c in 0..cores {
+                    let readable = llc.permissions().read_mask(CoreId(c as u8));
+                    assert!(
+                        !readable.is_empty(),
+                        "core {c} lost read access to every way"
+                    );
+                }
+                assert!(llc.permissions().check_invariants().is_ok());
+            }
+        }
+        // The adversarial mix must actually have exercised transitions.
+        assert!(
+            llc.stats().repartitions.get() > 0,
+            "scenario never repartitioned; the invariant was not stressed"
+        );
     }
 }

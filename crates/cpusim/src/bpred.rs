@@ -50,7 +50,7 @@ impl Gshare {
     ///
     /// Panics if `btb_entries` is not divisible by `btb_assoc`.
     pub fn new(pht_bits: u32, btb_entries: usize, btb_assoc: usize) -> Gshare {
-        assert!(btb_entries % btb_assoc == 0 && btb_assoc > 0);
+        assert!(btb_assoc > 0 && btb_entries.is_multiple_of(btb_assoc));
         let btb_sets = btb_entries / btb_assoc;
         Gshare {
             history: 0,
@@ -158,7 +158,9 @@ mod tests {
         let mut g = Gshare::paper_default();
         let mut x = 0x12345678u64;
         for _ in 0..2000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             g.observe(0x900 + ((x >> 60) << 2), (x >> 33) & 1 == 1);
         }
         let rate = g.stats().mpki_rate();
@@ -182,7 +184,7 @@ mod tests {
     #[test]
     fn btb_capacity_evictions_cause_redirects() {
         let mut g = Gshare::new(12, 8, 4); // tiny BTB: 2 sets x 4 ways
-        // 16 distinct always-taken branches thrash the BTB.
+                                           // 16 distinct always-taken branches thrash the BTB.
         for round in 0..20 {
             for b in 0..16u64 {
                 g.observe(0x1000 + b * 8, true);

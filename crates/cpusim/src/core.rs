@@ -333,10 +333,7 @@ impl Core {
                     self.last_load_done = done;
                     self.stats.loads.inc();
                     self.lsq_count += 1;
-                    self.rob.push_back(RobEntry {
-                        done,
-                        is_mem: true,
-                    });
+                    self.rob.push_back(RobEntry { done, is_mem: true });
                     n += 1;
                 }
                 InstrKind::Store => {
@@ -357,12 +354,8 @@ impl Core {
                         match self.l1d_mshr.begin(now, line) {
                             MshrOutcome::Merged(_) => {}
                             MshrOutcome::Allocated => {
-                                let done = llc.access(
-                                    now + self.cfg.l1_hit_latency,
-                                    self.id,
-                                    line,
-                                    true,
-                                );
+                                let done =
+                                    llc.access(now + self.cfg.l1_hit_latency, self.id, line, true);
                                 self.l1d_mshr.set_completion(line, done);
                             }
                             MshrOutcome::Full(hint) => {
@@ -512,7 +505,7 @@ mod tests {
             let mut i = 0u64;
             move || {
                 i += 1;
-                if i % 4 == 0 {
+                if i.is_multiple_of(4) {
                     // Unpredictable outcome from a hash of i when requested.
                     let taken = if predictable {
                         true
@@ -546,7 +539,7 @@ mod tests {
             let mut i = 0u64;
             move || {
                 i += 1;
-                if i % 3 == 0 {
+                if i.is_multiple_of(3) {
                     Instr::load(64, (i / 3) * 64)
                 } else {
                     Instr::alu(64)
@@ -579,7 +572,10 @@ mod tests {
         let mut llc = FixedLlc::new(50);
         run_for(&mut core, &mut llc, 20_000);
         assert!(!llc.accesses.is_empty());
-        assert!(llc.accesses.iter().any(|&(_, _, w)| w), "write-intent fills");
+        assert!(
+            llc.accesses.iter().any(|&(_, _, w)| w),
+            "write-intent fills"
+        );
         assert!(llc.writebacks > 0, "streaming stores evict dirty L1 lines");
     }
 

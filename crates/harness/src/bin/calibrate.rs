@@ -8,15 +8,30 @@ use harness::SimScale;
 use workloads::Benchmark;
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: calibrate\n\
+             prints solo IPC / LLC MPKI / APKI for all 19 benchmark models\n\
+             against their paper targets; scale via COOP_SCALE=tiny|small|medium|paper"
+        );
+        return;
+    }
     let scale = SimScale::from_env_or(SimScale::tiny());
-    println!("scale {} warm={} instrs={}", scale.name, scale.warmup_instrs, scale.instrs_per_app);
+    println!(
+        "scale {} warm={} instrs={}",
+        scale.name, scale.warmup_instrs, scale.instrs_per_app
+    );
     let t0 = std::time::Instant::now();
     for b in Benchmark::ALL {
         let cfg = SystemConfig::solo(b, LlcConfig::two_core(SchemeKind::Ucp), scale);
         let r = System::new(cfg).run();
         println!(
             "{:11} ipc={:5.2} mpki={:6.2} (paper {:5.2}) apki={:6.1}",
-            b.name(), r.ipc[0], r.mpki[0], b.paper_mpki(), r.apki[0]
+            b.name(),
+            r.ipc[0],
+            r.mpki[0],
+            b.paper_mpki(),
+            r.apki[0]
         );
     }
     println!("elapsed {:.1}s", t0.elapsed().as_secs_f64());

@@ -1,13 +1,17 @@
 //! `inspect` — watches one workload group epoch by epoch: UMON miss
 //! curves (CURVES=1), UCP quotas / CP allocations, powered ways and
-//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=ucp|cp|fair|un.
+//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=ucp|cp|fair|un,
+//! EPOCHS=n (default 34).
 use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
 use cpusim::{Core, CoreConfig, LlcPort};
 use memsim::{Dram, DramConfig};
 use simkit::types::{CoreId, Cycle, LineAddr};
 use workloads::{two_core_groups, SyntheticSource};
 
-struct Port<'a> { llc: &'a mut PartitionedLlc, dram: &'a mut Dram }
+struct Port<'a> {
+    llc: &'a mut PartitionedLlc,
+    dram: &'a mut Dram,
+}
 impl LlcPort for Port<'_> {
     fn access(&mut self, now: Cycle, core: CoreId, line: LineAddr, write: bool) -> Cycle {
         self.llc.access(now, core, line, write, self.dram)
@@ -18,6 +22,16 @@ impl LlcPort for Port<'_> {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: inspect\n\
+             env: GROUP=G2-1..G2-14 (default G2-1)\n\
+             \x20    SCHEME=ucp|cp|fair|un (default ucp)\n\
+             \x20    CURVES=1 to print per-epoch UMON miss curves\n\
+             \x20    EPOCHS=n epochs to watch (default 34)"
+        );
+        return;
+    }
     let gname = std::env::var("GROUP").unwrap_or_else(|_| "G2-1".into());
     let scheme = match std::env::var("SCHEME").as_deref() {
         Ok("cp") => SchemeKind::Cooperative,
@@ -26,10 +40,26 @@ fn main() {
         _ => SchemeKind::Ucp,
     };
     let curves = std::env::var("CURVES").is_ok();
-    let group = two_core_groups().into_iter().find(|g| g.name == gname).expect("group");
+    let epochs: u64 = std::env::var("EPOCHS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(34);
+    let group = two_core_groups()
+        .into_iter()
+        .find(|g| g.name == gname)
+        .expect("group");
     println!("{} under {:?}", group, scheme);
-    let mut cores: Vec<Core> = group.benchmarks.iter().enumerate()
-        .map(|(i, b)| Core::new(CoreId(i as u8), CoreConfig::default(), Box::new(SyntheticSource::new(b.model(), 0x5EED ^ ((i as u64) << 32)))))
+    let mut cores: Vec<Core> = group
+        .benchmarks
+        .iter()
+        .enumerate()
+        .map(|(i, b)| {
+            Core::new(
+                CoreId(i as u8),
+                CoreConfig::default(),
+                Box::new(SyntheticSource::new(b.model(), 0x5EED ^ ((i as u64) << 32))),
+            )
+        })
         .collect();
     let mut llc = PartitionedLlc::new(LlcConfig::two_core(scheme).with_epoch(500_000), 2);
     let mut dram = Dram::new(DramConfig::default());
@@ -37,10 +67,13 @@ fn main() {
     let mut next_epoch = Cycle(500_000);
     let mut epoch = 0;
     let mut last_retired = vec![0u64; cores.len()];
-    while epoch < 34 {
+    while epoch < epochs {
         let mut next = Cycle(u64::MAX);
         for c in &mut cores {
-            let mut port = Port { llc: &mut llc, dram: &mut dram };
+            let mut port = Port {
+                llc: &mut llc,
+                dram: &mut dram,
+            };
             let out = c.step(now, &mut port);
             next = next.min(out.next_event);
         }
@@ -53,13 +86,22 @@ fn main() {
                 }
             }
             llc.on_epoch(now, &mut dram);
-            let ipcs: Vec<String> = cores.iter().enumerate().map(|(i, c)| {
-                let d = c.retired() - last_retired[i];
-                last_retired[i] = c.retired();
-                format!("{:.2}", d as f64 / 500_000.0)
-            }).collect();
-            println!("e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
-                llc.ucp_quotas(), llc.current_allocation(), llc.ways_on(), ipcs);
+            let ipcs: Vec<String> = cores
+                .iter()
+                .enumerate()
+                .map(|(i, c)| {
+                    let d = c.retired() - last_retired[i];
+                    last_retired[i] = c.retired();
+                    format!("{:.2}", d as f64 / 500_000.0)
+                })
+                .collect();
+            println!(
+                "e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
+                llc.ucp_quotas(),
+                llc.current_allocation(),
+                llc.ways_on(),
+                ipcs
+            );
             next_epoch = now + 500_000;
             epoch += 1;
         }

@@ -13,9 +13,9 @@
 
 use std::io::Write as _;
 
-use harness::experiments::{self, Experiment};
 use harness::experiments::fig11_13::ThresholdMetric;
 use harness::experiments::fig5_10::Metric;
+use harness::experiments::{self, Experiment};
 use harness::SimScale;
 
 fn main() {
@@ -33,8 +33,7 @@ fn main() {
             "--scale" => {
                 i += 1;
                 let name = args.get(i).expect("--scale needs a value");
-                scale = SimScale::by_name(name)
-                    .unwrap_or_else(|| panic!("unknown scale '{name}'"));
+                scale = SimScale::by_name(name).unwrap_or_else(|| panic!("unknown scale '{name}'"));
             }
             "--csv" => {
                 i += 1;
@@ -66,15 +65,40 @@ fn select(what: &str, scale: SimScale) -> Vec<Experiment> {
         "table1" => vec![experiments::table1::table()],
         "table3" => vec![experiments::table3::table(scale)],
         "table4" => vec![experiments::table4::table()],
-        "fig5" => vec![experiments::fig5_10::figure(2, Metric::WeightedSpeedup, scale)],
-        "fig6" => vec![experiments::fig5_10::figure(2, Metric::DynamicEnergy, scale)],
+        "fig5" => vec![experiments::fig5_10::figure(
+            2,
+            Metric::WeightedSpeedup,
+            scale,
+        )],
+        "fig6" => vec![experiments::fig5_10::figure(
+            2,
+            Metric::DynamicEnergy,
+            scale,
+        )],
         "fig7" => vec![experiments::fig5_10::figure(2, Metric::StaticEnergy, scale)],
-        "fig8" => vec![experiments::fig5_10::figure(4, Metric::WeightedSpeedup, scale)],
-        "fig9" => vec![experiments::fig5_10::figure(4, Metric::DynamicEnergy, scale)],
+        "fig8" => vec![experiments::fig5_10::figure(
+            4,
+            Metric::WeightedSpeedup,
+            scale,
+        )],
+        "fig9" => vec![experiments::fig5_10::figure(
+            4,
+            Metric::DynamicEnergy,
+            scale,
+        )],
         "fig10" => vec![experiments::fig5_10::figure(4, Metric::StaticEnergy, scale)],
-        "fig11" => vec![experiments::fig11_13::figure(ThresholdMetric::Performance, scale)],
-        "fig12" => vec![experiments::fig11_13::figure(ThresholdMetric::DynamicEnergy, scale)],
-        "fig13" => vec![experiments::fig11_13::figure(ThresholdMetric::StaticEnergy, scale)],
+        "fig11" => vec![experiments::fig11_13::figure(
+            ThresholdMetric::Performance,
+            scale,
+        )],
+        "fig12" => vec![experiments::fig11_13::figure(
+            ThresholdMetric::DynamicEnergy,
+            scale,
+        )],
+        "fig13" => vec![experiments::fig11_13::figure(
+            ThresholdMetric::StaticEnergy,
+            scale,
+        )],
         "fig14" => vec![experiments::fig14::figure(scale)],
         "fig15" => vec![experiments::fig15::figure(scale)],
         "fig16" => vec![experiments::fig16::figure(scale)],

@@ -29,15 +29,18 @@ pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
     let groups = two_core_groups();
     let llc = crate::experiments::llc_for(2, coop_core::SchemeKind::Cooperative);
     let (id, title) = match metric {
-        ThresholdMetric::Performance => {
-            ("Figure 11", "Takeover threshold vs weighted speedup (norm. T=0)")
-        }
-        ThresholdMetric::DynamicEnergy => {
-            ("Figure 12", "Takeover threshold vs dynamic energy (norm. T=0)")
-        }
-        ThresholdMetric::StaticEnergy => {
-            ("Figure 13", "Takeover threshold vs static energy (norm. T=0)")
-        }
+        ThresholdMetric::Performance => (
+            "Figure 11",
+            "Takeover threshold vs weighted speedup (norm. T=0)",
+        ),
+        ThresholdMetric::DynamicEnergy => (
+            "Figure 12",
+            "Takeover threshold vs dynamic energy (norm. T=0)",
+        ),
+        ThresholdMetric::StaticEnergy => (
+            "Figure 13",
+            "Takeover threshold vs static energy (norm. T=0)",
+        ),
     };
 
     let mut headers = vec!["Group".to_string()];

@@ -11,11 +11,7 @@ use crate::scale::SimScale;
 pub fn figure(scale: SimScale) -> Experiment {
     let sweep = cached_sweep(2, scale);
     let mut headers = vec!["Group".to_string()];
-    headers.extend(
-        TakeoverEventKind::ALL
-            .iter()
-            .map(|k| k.label().to_string()),
-    );
+    headers.extend(TakeoverEventKind::ALL.iter().map(|k| k.label().to_string()));
     let mut table = Table::new(headers);
 
     let mut totals = [0u64; 4];
@@ -28,7 +24,13 @@ pub fn figure(scale: SimScale) -> Experiment {
         }
         let fracs: Vec<f64> = ev
             .iter()
-            .map(|&e| if total == 0 { 0.0 } else { e as f64 / total as f64 })
+            .map(|&e| {
+                if total == 0 {
+                    0.0
+                } else {
+                    e as f64 / total as f64
+                }
+            })
             .collect();
         if total > 0 {
             // ALL order: recipient-miss, recipient-hit, donor-miss, donor-hit.
@@ -39,7 +41,13 @@ pub fn figure(scale: SimScale) -> Experiment {
     let grand: u64 = totals.iter().sum();
     let avg: Vec<f64> = totals
         .iter()
-        .map(|&t| if grand == 0 { 0.0 } else { t as f64 / grand as f64 })
+        .map(|&t| {
+            if grand == 0 {
+                0.0
+            } else {
+                t as f64 / grand as f64
+            }
+        })
         .collect();
     table.row_f64("AVG", &avg, 3);
 

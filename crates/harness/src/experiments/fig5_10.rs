@@ -34,10 +34,14 @@ impl Metric {
 pub fn figure(cores: usize, metric: Metric, scale: SimScale) -> Experiment {
     let sweep = cached_sweep(cores, scale);
     let (id, title) = match (cores, metric) {
-        (2, Metric::WeightedSpeedup) => ("Figure 5", "Weighted speedup, two-core (norm. Fair Share)"),
+        (2, Metric::WeightedSpeedup) => {
+            ("Figure 5", "Weighted speedup, two-core (norm. Fair Share)")
+        }
         (2, Metric::DynamicEnergy) => ("Figure 6", "Dynamic energy, two-core (norm. Fair Share)"),
         (2, Metric::StaticEnergy) => ("Figure 7", "Static energy, two-core (norm. Fair Share)"),
-        (4, Metric::WeightedSpeedup) => ("Figure 8", "Weighted speedup, four-core (norm. Fair Share)"),
+        (4, Metric::WeightedSpeedup) => {
+            ("Figure 8", "Weighted speedup, four-core (norm. Fair Share)")
+        }
         (4, Metric::DynamicEnergy) => ("Figure 9", "Dynamic energy, four-core (norm. Fair Share)"),
         (4, Metric::StaticEnergy) => ("Figure 10", "Static energy, four-core (norm. Fair Share)"),
         _ => panic!("paper figures cover 2- and 4-core systems"),

@@ -43,7 +43,12 @@ pub struct Experiment {
 impl Experiment {
     /// Renders the experiment as printable text.
     pub fn render(&self) -> String {
-        let mut out = format!("== {} — {} ==\n{}", self.id, self.title, self.table.render());
+        let mut out = format!(
+            "== {} — {} ==\n{}",
+            self.id,
+            self.title,
+            self.table.render()
+        );
         for n in &self.notes {
             out.push_str("note: ");
             out.push_str(n);
@@ -80,8 +85,7 @@ impl Sweep {
     pub fn ws_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
         let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
             .weighted_speedup(&self.ipc_alone[g]);
-        let this =
-            self.runs[g][Self::scheme_idx(scheme)].weighted_speedup(&self.ipc_alone[g]);
+        let this = self.runs[g][Self::scheme_idx(scheme)].weighted_speedup(&self.ipc_alone[g]);
         this / fair
     }
 
@@ -207,9 +211,12 @@ fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
     });
 }
 
+/// Cache entries for [`cached_sweep`], keyed by `(cores, scale name)`.
+type SweepCache = Mutex<Vec<((usize, &'static str), Arc<Sweep>)>>;
+
 /// Memoized sweep for (cores, scale).
 pub fn cached_sweep(cores: usize, scale: SimScale) -> Arc<Sweep> {
-    static CACHE: OnceLock<Mutex<Vec<((usize, &'static str), Arc<Sweep>)>>> = OnceLock::new();
+    static CACHE: OnceLock<SweepCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
     let key = (cores, scale.name);
     if let Some((_, hit)) = cache
@@ -232,8 +239,9 @@ pub fn cached_sweep(cores: usize, scale: SimScale) -> Arc<Sweep> {
 /// (Figures 11-13). Returns `runs[group][threshold]` for
 /// [`fig11_13::THRESHOLDS`].
 pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
-    static CACHE: OnceLock<Mutex<Vec<(&'static str, Arc<Vec<Vec<RunResult>>>)>>> =
-        OnceLock::new();
+    /// Cache entries keyed by scale name: `runs[group][threshold]`.
+    type ThresholdCache = Mutex<Vec<(&'static str, Arc<Vec<Vec<RunResult>>>)>>;
+    static CACHE: OnceLock<ThresholdCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
     if let Some((_, hit)) = cache
         .lock()

@@ -94,8 +94,9 @@ impl SimScale {
     /// Panics if `COOP_SCALE` is set to an unknown preset name.
     pub fn from_env_or(default: SimScale) -> SimScale {
         match std::env::var("COOP_SCALE") {
-            Ok(v) => SimScale::by_name(&v)
-                .unwrap_or_else(|| panic!("unknown COOP_SCALE preset: {v}")),
+            Ok(v) => {
+                SimScale::by_name(&v).unwrap_or_else(|| panic!("unknown COOP_SCALE preset: {v}"))
+            }
             Err(_) => default,
         }
     }

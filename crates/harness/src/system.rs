@@ -190,10 +190,7 @@ impl System {
         // ---- Warm-up ----------------------------------------------------
         let mut next_epoch = Cycle(self.cfg.llc.epoch_cycles);
         let mut epoch_curves: Vec<coop_core::MissCurve> = Vec::new();
-        while self
-            .cores
-            .iter()
-            .any(|c| c.retired() < scale.warmup_instrs)
+        while self.cores.iter().any(|c| c.retired() < scale.warmup_instrs)
             && self.now < Cycle(scale.max_cycles / 2)
         {
             self.step_all(&mut next_epoch, &mut epoch_curves, false);
@@ -241,20 +238,14 @@ impl System {
             .collect();
         let kilo = scale.instrs_per_app as f64 / 1000.0;
         let mpki: Vec<f64> = (0..n)
-            .map(|i| {
-                (self.llc.stats().per_core[i].misses.get() - base_misses[i]) as f64 / kilo
-            })
+            .map(|i| (self.llc.stats().per_core[i].misses.get() - base_misses[i]) as f64 / kilo)
             .collect();
         let apki: Vec<f64> = (0..n)
-            .map(|i| {
-                (self.llc.stats().per_core[i].accesses.get() - base_accesses[i]) as f64 / kilo
-            })
+            .map(|i| (self.llc.stats().per_core[i].accesses.get() - base_accesses[i]) as f64 / kilo)
             .collect();
         let counts = minus(self.llc.energy_counts(end), base_counts);
-        let params = EnergyParams::for_llc(
-            self.cfg.llc.geom.size_bytes(),
-            self.cfg.llc.geom.ways(),
-        );
+        let params =
+            EnergyParams::for_llc(self.cfg.llc.geom.size_bytes(), self.cfg.llc.geom.ways());
         let flush_series_ts = self.llc.stats().flush_series.clone();
 
         RunResult {
@@ -344,7 +335,11 @@ mod tests {
         let r = System::new(cfg).run();
         assert_eq!(r.ipc.len(), 2);
         assert!(r.ipc.iter().all(|&i| i > 0.05 && i < 4.0), "{:?}", r.ipc);
-        assert!(r.mpki[0] > r.mpki[1], "lbm misses more than namd: {:?}", r.mpki);
+        assert!(
+            r.mpki[0] > r.mpki[1],
+            "lbm misses more than namd: {:?}",
+            r.mpki
+        );
         assert!(r.counts.tag_way_probes > 0);
         assert!(r.energy.dynamic_nj > 0.0);
         assert_eq!(r.avg_ways, 4.0, "fair share probes its 4 ways");

@@ -1,0 +1,77 @@
+//! Smoke tests: the three harness binaries compile (guaranteed by cargo
+//! building them for `CARGO_BIN_EXE_*`), answer `--help`, and complete a
+//! tiny-scale real run with exit status 0.
+
+use std::process::{Command, Output};
+
+fn run(exe: &str, args: &[&str], envs: &[(&str, &str)]) -> Output {
+    let mut cmd = Command::new(exe);
+    cmd.args(args);
+    for (k, v) in envs {
+        cmd.env(k, v);
+    }
+    cmd.output().unwrap_or_else(|e| panic!("spawn {exe}: {e}"))
+}
+
+fn assert_ok(what: &str, out: &Output) {
+    assert!(
+        out.status.success(),
+        "{what} exited with {:?}\nstdout:\n{}\nstderr:\n{}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr),
+    );
+}
+
+#[test]
+fn repro_help_exits_zero() {
+    let out = run(env!("CARGO_BIN_EXE_repro"), &["--help"], &[]);
+    assert_ok("repro --help", &out);
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(text.contains("usage"), "help text missing: {text}");
+}
+
+#[test]
+fn repro_renders_the_static_tables() {
+    // table1 (hardware overhead) and table4 (workload groups) are computed
+    // from configuration alone, so this is an instant real run.
+    for table in ["table1", "table4"] {
+        let out = run(env!("CARGO_BIN_EXE_repro"), &[table], &[]);
+        assert_ok(&format!("repro {table}"), &out);
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(!text.trim().is_empty(), "repro {table} printed nothing");
+    }
+}
+
+#[test]
+fn repro_rejects_unknown_experiments() {
+    let out = run(env!("CARGO_BIN_EXE_repro"), &["figNaN"], &[]);
+    assert!(!out.status.success(), "unknown experiment must not exit 0");
+}
+
+#[test]
+fn calibrate_help_exits_zero() {
+    let out = run(env!("CARGO_BIN_EXE_calibrate"), &["--help"], &[]);
+    assert_ok("calibrate --help", &out);
+}
+
+#[test]
+fn inspect_help_exits_zero() {
+    let out = run(env!("CARGO_BIN_EXE_inspect"), &["--help"], &[]);
+    assert_ok("inspect --help", &out);
+}
+
+#[test]
+fn inspect_two_epoch_run_exits_zero() {
+    let out = run(
+        env!("CARGO_BIN_EXE_inspect"),
+        &[],
+        &[("EPOCHS", "2"), ("SCHEME", "cp")],
+    );
+    assert_ok("inspect (EPOCHS=2)", &out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("e0") && text.contains("alloc="),
+        "per-epoch report missing: {text}"
+    );
+}

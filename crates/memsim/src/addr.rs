@@ -31,7 +31,10 @@ impl CacheGeometry {
     pub fn new(size_bytes: u64, ways: usize, line_bytes: u64) -> CacheGeometry {
         assert!(size_bytes.is_power_of_two(), "size must be a power of two");
         assert!(ways.is_power_of_two(), "ways must be a power of two");
-        assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
+        assert!(
+            line_bytes.is_power_of_two(),
+            "line size must be a power of two"
+        );
         let g = CacheGeometry {
             size_bytes,
             ways,

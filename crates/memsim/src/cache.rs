@@ -77,7 +77,9 @@ impl Cache {
         Cache {
             geom,
             owner,
-            sets: (0..geom.sets()).map(|_| CacheSet::new(geom.ways())).collect(),
+            sets: (0..geom.sets())
+                .map(|_| CacheSet::new(geom.ways()))
+                .collect(),
             all_ways: WayMask::all(geom.ways()),
             stats: CacheStats::default(),
         }

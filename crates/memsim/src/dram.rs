@@ -5,8 +5,8 @@
 //! behind it; the outstanding-request window models the memory bus/controller
 //! capacity. Write-backs occupy banks like reads but nobody waits on them.
 
-use std::collections::BinaryHeap;
 use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 use serde::{Deserialize, Serialize};
 use simkit::types::{Cycle, LineAddr};

@@ -238,7 +238,7 @@ mod tests {
         assert_eq!(h.count(), 5);
         assert_eq!(h.max(), 1000);
         let mean = h.mean().unwrap();
-        assert!((mean - (0 + 9 + 10 + 25 + 1000) as f64 / 5.0).abs() < 1e-12);
+        assert!((mean - (9 + 10 + 25 + 1000) as f64 / 5.0).abs() < 1e-12);
     }
 
     #[test]

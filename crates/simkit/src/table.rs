@@ -108,13 +108,7 @@ impl Table {
                 c.to_string()
             }
         };
-        let line = |cells: &[String]| {
-            cells
-                .iter()
-                .map(|c| esc(c))
-                .collect::<Vec<_>>()
-                .join(",")
-        };
+        let line = |cells: &[String]| cells.iter().map(|c| esc(c)).collect::<Vec<_>>().join(",");
         out.push_str(&line(&self.headers));
         out.push('\n');
         for r in &self.rows {

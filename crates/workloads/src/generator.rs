@@ -43,7 +43,9 @@ impl SyntheticSource {
     ///
     /// Panics if the model fails [`BenchmarkModel::validate`].
     pub fn new(model: BenchmarkModel, seed: u64) -> SyntheticSource {
-        model.validate().unwrap_or_else(|e| panic!("invalid model: {e}"));
+        model
+            .validate()
+            .unwrap_or_else(|e| panic!("invalid model: {e}"));
         let rng = DetRng::derive(seed, model.name);
         // Separate components by 1 GiB so regions never overlap.
         let bases = (0..model.components.len())

@@ -182,7 +182,13 @@ impl Benchmark {
                 0.14,
                 0.94,
                 64,
-                vec![ws(384, 0.05), chase(24576, 0.02), stream64(0.028), stream(0.02), hot(0.882)],
+                vec![
+                    ws(384, 0.05),
+                    chase(24576, 0.02),
+                    stream64(0.028),
+                    stream(0.02),
+                    hot(0.882),
+                ],
             ),
             Benchmark::Sjeng => {
                 let mut m = base(
@@ -219,7 +225,13 @@ impl Benchmark {
                     0.16,
                     0.90,
                     48,
-                    vec![ws(320, 0.06), chase(896, 0.05), stream64(0.004), stream(0.012), hot(0.874)],
+                    vec![
+                        ws(320, 0.06),
+                        chase(896, 0.05),
+                        stream64(0.004),
+                        stream(0.012),
+                        hot(0.874),
+                    ],
                 );
                 m.phases = vec![
                     Phase {
@@ -241,7 +253,13 @@ impl Benchmark {
                     0.15,
                     0.92,
                     96,
-                    vec![ws(224, 0.05), ws(512, 0.04), chase(960, 0.035), stream(0.05), hot(0.825)],
+                    vec![
+                        ws(224, 0.05),
+                        ws(512, 0.04),
+                        chase(960, 0.035),
+                        stream(0.05),
+                        hot(0.825),
+                    ],
                 );
                 m.phases = vec![
                     Phase {
@@ -471,10 +489,10 @@ mod tests {
     fn streaming_benchmarks_have_stream_like_components() {
         for b in [Benchmark::Lbm, Benchmark::Milc] {
             let m = b.model();
-            assert!(m.components.iter().any(|c| matches!(
-                c.pattern,
-                Pattern::Stream { .. }
-            )));
+            assert!(m
+                .components
+                .iter()
+                .any(|c| matches!(c.pattern, Pattern::Stream { .. })));
         }
         // libquantum sweeps a >cache vector (loop that never fits).
         let lq = Benchmark::Libquantum.model();

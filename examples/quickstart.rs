@@ -39,8 +39,14 @@ fn main() {
     }
 
     let alone = solo::ipc_alone(&benchmarks, llc, scale);
-    println!("\nweighted speedup vs solo: {:.3}", result.weighted_speedup(&alone));
-    println!("average tag ways consulted per access: {:.2} / 8", result.avg_ways);
+    println!(
+        "\nweighted speedup vs solo: {:.3}",
+        result.weighted_speedup(&alone)
+    );
+    println!(
+        "average tag ways consulted per access: {:.2} / 8",
+        result.avg_ways
+    );
     println!(
         "energy: dynamic {:.1} uJ (tag side), static {:.1} uJ, data {:.1} uJ",
         result.energy.dynamic_nj / 1000.0,

@@ -97,5 +97,8 @@ fn main() {
         events[0], events[1], events[2], events[3]
     );
     println!("durations: {:?} cycles", llc.takeover().durations());
-    println!("lines flushed back to memory: {}", llc.stats().flush_lines.get());
+    println!(
+        "lines flushed back to memory: {}",
+        llc.stats().flush_lines.get()
+    );
 }

@@ -12,7 +12,9 @@ use coop_partitioning::simkit::table::Table;
 use coop_partitioning::workloads::two_core_groups;
 
 fn main() {
-    let group_name = std::env::args().nth(1).unwrap_or_else(|| "G2-6".to_string());
+    let group_name = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "G2-6".to_string());
     let group = two_core_groups()
         .into_iter()
         .find(|g| g.name == group_name)

@@ -47,7 +47,12 @@ fn every_scheme_completes_and_reports_sane_numbers() {
 
 #[test]
 fn runs_are_deterministic() {
-    let make = || run(vec![Benchmark::Soplex, Benchmark::Gcc], SchemeKind::Cooperative);
+    let make = || {
+        run(
+            vec![Benchmark::Soplex, Benchmark::Gcc],
+            SchemeKind::Cooperative,
+        )
+    };
     let a = make();
     let b = make();
     assert_eq!(a.ipc, b.ipc);
@@ -97,7 +102,10 @@ fn ucp_never_gates_or_saves_tag_energy() {
 #[test]
 fn cooperative_transfers_complete() {
     // A phase-changing app forces repartitioning; transfers must finish.
-    let r = run(vec![Benchmark::Soplex, Benchmark::Bzip2], SchemeKind::Cooperative);
+    let r = run(
+        vec![Benchmark::Soplex, Benchmark::Bzip2],
+        SchemeKind::Cooperative,
+    );
     let events: u64 = r.takeover_events.iter().sum();
     if r.repartitions > 0 {
         assert!(

@@ -21,11 +21,7 @@ fn quick() -> SimScale {
 fn way_cycles_partition_time_exactly() {
     // For every scheme: on_way_cycles + gated_way_cycles == ways x cycles.
     for scheme in SchemeKind::ALL {
-        let cfg = SystemConfig::two_core(
-            vec![Benchmark::Milc, Benchmark::Namd],
-            scheme,
-            quick(),
-        );
+        let cfg = SystemConfig::two_core(vec![Benchmark::Milc, Benchmark::Namd], scheme, quick());
         let r = System::new(cfg).run();
         let ways = 8;
         assert_eq!(
@@ -78,11 +74,7 @@ fn gating_trades_leakage_for_nothing_else() {
     // Same mix under FairShare vs Cooperative: gating must not create or
     // destroy way-cycles, only move them between the on and gated buckets.
     let run = |scheme| {
-        let cfg = SystemConfig::two_core(
-            vec![Benchmark::Povray, Benchmark::Namd],
-            scheme,
-            quick(),
-        );
+        let cfg = SystemConfig::two_core(vec![Benchmark::Povray, Benchmark::Namd], scheme, quick());
         System::new(cfg).run()
     };
     let fair = run(SchemeKind::FairShare);

@@ -10,19 +10,18 @@ use proptest::prelude::*;
 /// Strategy: a non-increasing miss curve over `ways` ways plus an access
 /// count at least as large as the zero-way miss count.
 fn miss_curve(ways: usize) -> impl Strategy<Value = MissCurve> {
-    proptest::collection::vec(0.0f64..1000.0, ways)
-        .prop_map(move |drops| {
-            let mut values = Vec::with_capacity(ways + 1);
-            let total: f64 = drops.iter().sum::<f64>() + 1.0;
-            let mut current = total;
+    proptest::collection::vec(0.0f64..1000.0, ways).prop_map(move |drops| {
+        let mut values = Vec::with_capacity(ways + 1);
+        let total: f64 = drops.iter().sum::<f64>() + 1.0;
+        let mut current = total;
+        values.push(current);
+        for d in drops {
+            current -= d * (total - 0.0) / (total * 1.2);
+            current = current.max(0.0);
             values.push(current);
-            for d in drops {
-                current -= d * (total - 0.0) / (total * 1.2);
-                current = current.max(0.0);
-                values.push(current);
-            }
-            MissCurve::new(values.clone(), values[0] + 10.0)
-        })
+        }
+        MissCurve::new(values.clone(), values[0] + 10.0)
+    })
 }
 
 proptest! {

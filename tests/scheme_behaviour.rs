@@ -36,7 +36,13 @@ fn drive(scheme: SchemeKind, rounds: u64) -> (PartitionedLlc, Dram) {
         // Core 1: 2-way working set per set index (16 hot lines).
         let set = r % 8;
         for k in 0..2 {
-            llc.access(now, CoreId(1), la(1, set * 64 + k * 64 * 64), false, &mut dram);
+            llc.access(
+                now,
+                CoreId(1),
+                la(1, set * 64 + k * 64 * 64),
+                false,
+                &mut dram,
+            );
             now += 20;
         }
         if now >= next_epoch {
@@ -74,7 +80,9 @@ fn cooperative_gates_unused_ways_fair_share_does_not() {
 fn probe_energy_orders_as_unmanaged_gt_fair_gt_cooperative() {
     let un = drive(SchemeKind::Unmanaged, 20_000).0.avg_ways_consulted();
     let fair = drive(SchemeKind::FairShare, 20_000).0.avg_ways_consulted();
-    let coop = drive(SchemeKind::Cooperative, 20_000).0.avg_ways_consulted();
+    let coop = drive(SchemeKind::Cooperative, 20_000)
+        .0
+        .avg_ways_consulted();
     assert_eq!(un, 8.0);
     assert_eq!(fair, 4.0);
     assert!(coop < fair, "cooperative probes fewer ways: {coop}");
@@ -131,7 +139,13 @@ fn takeover_demo_transition_moves_dirty_data_safely() {
     // The recipient touches every set; transfer must complete and any dirty
     // donor lines in way 4 must have been written back, not dropped.
     for s in 0..64u64 {
-        llc.access(Cycle(200 + s * 10), CoreId(0), la(0, s * 64 + 4096 * 64), false, &mut dram);
+        llc.access(
+            Cycle(200 + s * 10),
+            CoreId(0),
+            la(0, s * 64 + 4096 * 64),
+            false,
+            &mut dram,
+        );
     }
     assert!(!llc.takeover().active());
     assert!(

@@ -1,0 +1,126 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Supports the harness surface the bench targets use — `Criterion`,
+//! `Bencher::iter`, `black_box`, and the `criterion_group!` /
+//! `criterion_main!` macros (both the struct-style and list-style forms).
+//! Instead of criterion's statistical machinery it runs a fixed warm-up plus
+//! `sample_size` timed batches and prints median/mean ns-per-iteration, which
+//! is enough to compare kernels across code changes. It honours cargo's
+//! `--bench` convention of a `--test` flag (run each benchmark once) so
+//! `cargo test --benches` stays cheap. See `vendor/README.md` for the swap
+//! procedure.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver configured per `criterion_group!`.
+pub struct Criterion {
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 20,
+            test_mode: std::env::args().any(|a| a == "--test"),
+        }
+    }
+}
+
+impl Criterion {
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            samples: Vec::new(),
+            iters_per_sample: 1,
+            sample_target: if self.test_mode { 1 } else { self.sample_size },
+        };
+        f(&mut b);
+        b.report(id);
+        self
+    }
+}
+
+/// Timing loop handle passed to each benchmark closure.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    iters_per_sample: u64,
+    sample_target: usize,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Calibrate batch size so one sample takes ~1 ms, keeping timer
+        // overhead negligible for sub-microsecond kernels.
+        let start = Instant::now();
+        black_box(routine());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        self.iters_per_sample =
+            (Duration::from_millis(1).as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        self.samples.clear();
+        for _ in 0..self.sample_target {
+            let t = Instant::now();
+            for _ in 0..self.iters_per_sample {
+                black_box(routine());
+            }
+            self.samples.push(t.elapsed());
+        }
+    }
+
+    fn report(&self, id: &str) {
+        if self.samples.is_empty() {
+            println!("{id:40} (no samples)");
+            return;
+        }
+        let mut per_iter: Vec<f64> = self
+            .samples
+            .iter()
+            .map(|d| d.as_nanos() as f64 / self.iters_per_sample as f64)
+            .collect();
+        per_iter.sort_by(|a, b| a.total_cmp(b));
+        let median = per_iter[per_iter.len() / 2];
+        let mean = per_iter.iter().sum::<f64>() / per_iter.len() as f64;
+        println!(
+            "{id:40} median {median:12.1} ns/iter   mean {mean:12.1} ns/iter   ({} samples x {} iters)",
+            per_iter.len(),
+            self.iters_per_sample
+        );
+    }
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

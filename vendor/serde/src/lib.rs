@@ -1,0 +1,16 @@
+//! Offline stand-in for `serde`.
+//!
+//! Provides just enough surface for this workspace: the `Serialize` /
+//! `Deserialize` trait names and the derive macros (re-exported from the
+//! no-op `serde_derive` stub). No data format ships with the stub, so the
+//! traits carry no methods; they exist so `use serde::{Deserialize,
+//! Serialize}` and trait bounds resolve. Swap in the real crates by editing
+//! `[workspace.dependencies]` — see `vendor/README.md`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker counterpart of `serde::Serialize` (no methods in the stub).
+pub trait Serialize {}
+
+/// Marker counterpart of `serde::Deserialize` (no methods in the stub).
+pub trait Deserialize<'de>: Sized {}

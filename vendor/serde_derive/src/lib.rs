@@ -1,0 +1,20 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The build environment has no access to crates.io, so the real derive
+//! macros are replaced by no-ops: `#[derive(Serialize, Deserialize)]`
+//! compiles everywhere it appears but emits no impls. Nothing in this
+//! workspace serializes at runtime today (the derives exist so configs and
+//! stats become dump-able once a real serde is swapped in), so empty
+//! expansions are sufficient. See `vendor/README.md` for the swap procedure.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
