@@ -1,0 +1,79 @@
+//! Criterion kernels for the coordinated DVFS + partitioning subsystem.
+//!
+//! Run with `cargo bench -p bench --bench dvfs`. The minimizer runs once
+//! per epoch per system, so its cost must stay negligible against an epoch
+//! (80 k–5 M cycles); the kernels below keep it honest. All curve lookups
+//! are precomputed when the models are fitted — the minimizer's hot path is
+//! pure arithmetic over the candidate tables.
+
+use coop_dvfs::{minimize, CorePerfModel, EnergyCosts, EpochObservation, PerfModelParams};
+use cpusim::VfTable;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Fitted models for a 4-core, 16-way system with heterogeneous miss
+/// curves (one streamer, one cache-hungry, two in between).
+fn four_core_models() -> Vec<CorePerfModel> {
+    let params = PerfModelParams::paper_default();
+    (0..4)
+        .map(|i| {
+            let values: Vec<f64> = (0..=16)
+                .map(|w| 50_000.0 / (1.0 + w as f64 * (0.2 + i as f64)))
+                .collect();
+            let accesses = values[0] * 2.0;
+            let curve = coop_core::MissCurve::new(values, accesses);
+            let obs = EpochObservation {
+                instrs: 400_000,
+                ref_cycles: 1_000_000,
+                misses: 20_000 / (i as u64 + 1),
+                cur_ways: 4,
+                cur_ratio: 1.0,
+            };
+            CorePerfModel::fit(&curve, &obs, &params, 16)
+        })
+        .collect()
+}
+
+fn bench_dvfs(c: &mut Criterion) {
+    let table = VfTable::paper_45nm();
+    assert_eq!(table.len(), 5, "the kernel name promises 5 V/f points");
+    let costs = EnergyCosts::paper_default();
+
+    // Kernel 1: the per-epoch joint minimizer at the paper's largest
+    // configuration (4 cores, 16 ways, 5 operating points).
+    let models = four_core_models();
+    c.bench_function("dvfs_minimize_4core_16way_5freq", |b| {
+        b.iter(|| {
+            minimize(
+                std::hint::black_box(&models),
+                std::hint::black_box(&table),
+                &costs,
+                0.10,
+                16,
+            )
+        })
+    });
+
+    // Kernel 2: model fitting (curve anchoring + calibration), the other
+    // per-epoch cost.
+    let params = PerfModelParams::paper_default();
+    let values: Vec<f64> = (0..=16).map(|w| 50_000.0 / (1.0 + w as f64)).collect();
+    let accesses = values[0] * 2.0;
+    let curve = coop_core::MissCurve::new(values, accesses);
+    let obs = EpochObservation {
+        instrs: 400_000,
+        ref_cycles: 1_000_000,
+        misses: 10_000,
+        cur_ways: 4,
+        cur_ratio: 1.25,
+    };
+    c.bench_function("dvfs_fit_model_16way", |b| {
+        b.iter(|| CorePerfModel::fit(std::hint::black_box(&curve), &obs, &params, 16))
+    });
+}
+
+criterion_group! {
+    name = dvfs;
+    config = Criterion::default().sample_size(50);
+    targets = bench_dvfs
+}
+criterion_main!(dvfs);

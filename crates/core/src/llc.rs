@@ -374,21 +374,66 @@ impl PartitionedLlc {
                 }
             }
             SchemeKind::Cooperative => {
-                // Time out transfers stuck for more than the configured
-                // number of epochs (e.g. a donor that never touches some
-                // sets again).
-                let cutoff = self
-                    .epoch_index
-                    .saturating_sub(self.cfg.transition_timeout_epochs as u64);
-                self.force_complete_where(now, dram, |t| t.epoch < cutoff);
                 let curves: Vec<MissCurve> = self.umons.iter().map(|u| u.miss_curve()).collect();
                 let alloc = allocate(&curves, self.cfg.geom.ways(), self.cfg.threshold);
-                self.apply_cooperative(now, &alloc);
-                for u in &mut self.umons {
-                    u.age();
-                }
+                self.cooperative_epoch(now, dram, &alloc);
             }
         }
+        self.epoch_index += 1;
+        self.last_decision = now;
+    }
+
+    /// The Cooperative scheme's epoch body, shared by the internal decision
+    /// path and [`PartitionedLlc::on_epoch_with_allocation`]: times out
+    /// transfers stuck for more than the configured number of epochs (e.g.
+    /// a donor that never touches some sets again), applies `alloc` through
+    /// Algorithm 2 and ages the utility monitors.
+    fn cooperative_epoch(&mut self, now: Cycle, dram: &mut Dram, alloc: &Allocation) {
+        let cutoff = self
+            .epoch_index
+            .saturating_sub(self.cfg.transition_timeout_epochs as u64);
+        self.force_complete_where(now, dram, |t| t.epoch < cutoff);
+        self.apply_cooperative(now, alloc);
+        for u in &mut self.umons {
+            u.age();
+        }
+    }
+
+    /// Runs the periodic epoch bookkeeping with an *externally chosen*
+    /// allocation instead of the internal look-ahead decision.
+    ///
+    /// This is the hook the coordinated DVFS controller (`coop-dvfs`) drives:
+    /// its QoS-constrained minimizer picks joint (frequency, way-count)
+    /// targets from the same UMON curves, then hands the way targets here so
+    /// the existing cooperative-takeover machinery (RAP/WAP hand-off,
+    /// takeover bit vectors, way gating) enforces them. Transition timeouts
+    /// and UMON aging behave exactly as in [`PartitionedLlc::on_epoch`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the scheme is not [`SchemeKind::Cooperative`], if
+    /// `alloc.ways` does not cover every core, if it allocates zero ways to
+    /// a core, or if it oversubscribes the cache.
+    pub fn on_epoch_with_allocation(&mut self, now: Cycle, dram: &mut Dram, alloc: &Allocation) {
+        assert_eq!(
+            self.cfg.scheme,
+            SchemeKind::Cooperative,
+            "external allocations drive the cooperative takeover machinery"
+        );
+        assert_eq!(alloc.ways.len(), self.cores, "one way target per core");
+        assert!(
+            alloc.ways.iter().all(|&w| w >= 1),
+            "every active core keeps at least one way: {:?}",
+            alloc.ways
+        );
+        assert!(
+            alloc.ways.iter().sum::<usize>() <= self.cfg.geom.ways(),
+            "allocation exceeds associativity: {:?}",
+            alloc.ways
+        );
+        self.power.advance(now);
+        self.stats.decisions.inc();
+        self.cooperative_epoch(now, dram, alloc);
         self.epoch_index += 1;
         self.last_decision = now;
     }
@@ -1053,6 +1098,89 @@ mod tests {
             "reconfiguration flushed dirty lines"
         );
         assert!(llc.permissions().check_invariants().is_ok());
+    }
+
+    #[test]
+    fn external_allocation_drives_takeover_and_gating() {
+        let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Cooperative), 2);
+        let mut d = dram();
+        // Warm both cores so their ways hold data.
+        for s in 0..64u64 {
+            llc.access(Cycle(s), CoreId(0), la(0, s * 64), false, &mut d);
+            llc.access(Cycle(s), CoreId(1), la(1, s * 64), false, &mut d);
+        }
+        // External decision: core 0 shrinks to 1 way, core 1 keeps 2,
+        // 1 way drains toward power-off.
+        llc.on_epoch_with_allocation(
+            Cycle(1000),
+            &mut d,
+            &Allocation {
+                ways: vec![1, 2],
+                unallocated: 1,
+            },
+        );
+        assert_eq!(llc.current_allocation(), vec![1, 2]);
+        assert!(llc.takeover().active(), "drain transition in flight");
+        // The next epoch's timeout force-completes the drain; the way gates.
+        llc.on_epoch_with_allocation(
+            Cycle(21_000),
+            &mut d,
+            &Allocation {
+                ways: vec![1, 2],
+                unallocated: 1,
+            },
+        );
+        llc.on_epoch_with_allocation(
+            Cycle(41_000),
+            &mut d,
+            &Allocation {
+                ways: vec![1, 2],
+                unallocated: 1,
+            },
+        );
+        assert_eq!(llc.ways_on(), 3, "unallocated way gated after drain");
+        assert!(llc.permissions().check_invariants().is_ok());
+        // Growing back re-powers a gated way instantly.
+        llc.on_epoch_with_allocation(
+            Cycle(61_000),
+            &mut d,
+            &Allocation {
+                ways: vec![2, 2],
+                unallocated: 0,
+            },
+        );
+        assert_eq!(llc.ways_on(), 4);
+        assert_eq!(llc.current_allocation(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn external_allocation_rejects_zero_way_cores() {
+        let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Cooperative), 2);
+        let mut d = dram();
+        llc.on_epoch_with_allocation(
+            Cycle(0),
+            &mut d,
+            &Allocation {
+                ways: vec![0, 4],
+                unallocated: 0,
+            },
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn external_allocation_rejects_wrong_scheme() {
+        let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Ucp), 2);
+        let mut d = dram();
+        llc.on_epoch_with_allocation(
+            Cycle(0),
+            &mut d,
+            &Allocation {
+                ways: vec![2, 2],
+                unallocated: 0,
+            },
+        );
     }
 
     #[test]

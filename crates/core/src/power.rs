@@ -109,4 +109,87 @@ mod tests {
         p.advance(Cycle(10));
         assert_eq!(p.on_way_cycles(), 10);
     }
+
+    #[test]
+    fn on_gated_on_transition_integrates_each_interval_once() {
+        // The full gating round-trip of one way (on → gated → on) while the
+        // other ways stay powered: every interval must land in exactly one
+        // integral, with no way-cycles lost or double-counted.
+        let mut p = WayPower::new(4);
+        p.power_off(Cycle(1_000), 2); // [0,1000): 4 on
+        p.power_on(Cycle(3_500), 2); // [1000,3500): 3 on, 1 gated
+        p.advance(Cycle(5_000)); // [3500,5000): 4 on
+        assert_eq!(p.on_way_cycles(), 4 * 1_000 + 3 * 2_500 + 4 * 1_500);
+        assert_eq!(p.gated_way_cycles(), 2_500);
+        assert_eq!(p.on_count(), 4);
+        assert!(p.is_on(2));
+    }
+
+    #[test]
+    fn mid_epoch_advances_do_not_change_totals() {
+        // Integrating in many small steps must equal one big step: the
+        // epoch controller calls advance() at every decision and the energy
+        // finalizer once more at the end.
+        let run = |steps: &[u64]| {
+            let mut p = WayPower::new(8);
+            p.power_off(Cycle(0), 0);
+            p.power_off(Cycle(0), 1);
+            for &s in steps {
+                p.advance(Cycle(s));
+            }
+            p.advance(Cycle(10_000));
+            (p.on_way_cycles(), p.gated_way_cycles())
+        };
+        let fine = run(&[1, 2, 500, 501, 502, 7_000, 9_999]);
+        let coarse = run(&[]);
+        assert_eq!(fine, coarse);
+        assert_eq!(fine, (6 * 10_000, 2 * 10_000));
+    }
+
+    #[test]
+    fn interleaved_transitions_conserve_total_way_cycles() {
+        // However ways toggle, on + gated way-cycles must always equal
+        // ways × elapsed time (leakage never disappears, it only moves
+        // between the powered and residual buckets).
+        let mut p = WayPower::new(4);
+        let events: [(u64, usize, bool); 6] = [
+            (100, 0, false),
+            (250, 1, false),
+            (400, 0, true),
+            (700, 2, false),
+            (900, 1, true),
+            (1_300, 2, true),
+        ];
+        for (t, way, on) in events {
+            if on {
+                p.power_on(Cycle(t), way);
+            } else {
+                p.power_off(Cycle(t), way);
+            }
+            let elapsed = t; // advance() ran inside power_on/off
+            assert_eq!(
+                p.on_way_cycles() + p.gated_way_cycles(),
+                4 * elapsed,
+                "conservation violated at t={t}"
+            );
+        }
+        p.advance(Cycle(2_000));
+        assert_eq!(p.on_way_cycles() + p.gated_way_cycles(), 4 * 2_000);
+        assert_eq!(p.on_count(), 4, "all ways back on");
+    }
+
+    #[test]
+    fn repeated_gating_of_same_way_accumulates_residual_time() {
+        // A way that bounces on/off mid-epoch (e.g. reclaimed by a DVFS
+        // reallocation between two decisions) accrues gated time across
+        // every off interval.
+        let mut p = WayPower::new(2);
+        p.power_off(Cycle(10), 1);
+        p.power_on(Cycle(30), 1);
+        p.power_off(Cycle(50), 1);
+        p.power_on(Cycle(90), 1);
+        p.advance(Cycle(100));
+        assert_eq!(p.gated_way_cycles(), 20 + 40);
+        assert_eq!(p.on_way_cycles(), 2 * 100 - 60);
+    }
 }

@@ -1,0 +1,291 @@
+//! Per-core DVFS: voltage/frequency operating points and clock dilation.
+//!
+//! The simulator's global timeline runs in *reference cycles* at the nominal
+//! (maximum) core frequency, which is also the uncore clock the shared LLC
+//! and DRAM are timed in. A core running at a lower frequency executes its
+//! core cycles on a strided subset of reference cycles: at frequency `f`,
+//! one core cycle spans `f_nom / f` reference cycles (accumulated
+//! fractionally so non-integral ratios average out exactly).
+//!
+//! Two consequences fall out of this scheme for free, and both are required
+//! for a faithful DVFS model:
+//!
+//! * **cycles-per-instruction respects the clock** — a compute-bound core at
+//!   half frequency retires half as many instructions per reference cycle,
+//!   because its dispatch/retire ticks fire half as often;
+//! * **DRAM latency in core cycles respects the clock** — a memory access
+//!   takes the same *wall time* (reference cycles) regardless of the
+//!   issuing core's frequency, so a slower core loses *fewer core cycles*
+//!   per miss. Memory-bound applications therefore tolerate down-clocking,
+//!   which is exactly the asymmetry the coordinated (frequency, ways)
+//!   minimizer in `coop-dvfs` exploits.
+//!
+//! [`VfTable`] holds the discrete operating points (frequency + supply
+//! voltage) a core may be set to; the voltage feeds the energy model
+//! (`energy::CoreEnergyParams`), the frequency feeds [`CoreClock`].
+
+use serde::{Deserialize, Serialize};
+use simkit::types::Cycle;
+
+/// One voltage/frequency operating point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OperatingPoint {
+    /// Core clock in GHz.
+    pub freq_ghz: f64,
+    /// Supply voltage in volts.
+    pub vdd: f64,
+}
+
+/// The table of discrete operating points a core can switch between,
+/// ordered from the highest frequency (index 0, the nominal point) down.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct VfTable {
+    points: Vec<OperatingPoint>,
+}
+
+impl VfTable {
+    /// Builds a table from operating points.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `points` is empty, not strictly descending in frequency,
+    /// or contains a non-positive frequency or voltage.
+    pub fn new(points: Vec<OperatingPoint>) -> VfTable {
+        assert!(!points.is_empty(), "need at least one operating point");
+        for p in &points {
+            assert!(p.freq_ghz > 0.0 && p.vdd > 0.0, "non-positive V/f point");
+        }
+        for pair in points.windows(2) {
+            assert!(
+                pair[0].freq_ghz > pair[1].freq_ghz,
+                "operating points must descend in frequency"
+            );
+        }
+        VfTable { points }
+    }
+
+    /// A representative 45 nm table: 2.0 GHz at 1.10 V (the paper's nominal
+    /// clock) down to 1.2 GHz at 0.90 V in 200 MHz steps, with voltage
+    /// scaled along a typical Vdd/f curve.
+    pub fn paper_45nm() -> VfTable {
+        VfTable::new(vec![
+            OperatingPoint {
+                freq_ghz: 2.0,
+                vdd: 1.10,
+            },
+            OperatingPoint {
+                freq_ghz: 1.8,
+                vdd: 1.05,
+            },
+            OperatingPoint {
+                freq_ghz: 1.6,
+                vdd: 1.00,
+            },
+            OperatingPoint {
+                freq_ghz: 1.4,
+                vdd: 0.95,
+            },
+            OperatingPoint {
+                freq_ghz: 1.2,
+                vdd: 0.90,
+            },
+        ])
+    }
+
+    /// Number of operating points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the table holds no points (never, by construction).
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The operating point at `idx`.
+    pub fn point(&self, idx: usize) -> OperatingPoint {
+        self.points[idx]
+    }
+
+    /// All points, nominal first.
+    pub fn points(&self) -> &[OperatingPoint] {
+        &self.points
+    }
+
+    /// The nominal (maximum-frequency) point: index 0.
+    pub fn nominal(&self) -> OperatingPoint {
+        self.points[0]
+    }
+
+    /// Clock-dilation ratio of point `idx` relative to nominal
+    /// (`f_nom / f`, always >= 1).
+    pub fn ratio(&self, idx: usize) -> f64 {
+        self.points[0].freq_ghz / self.points[idx].freq_ghz
+    }
+}
+
+/// A core's clock: dilates core cycles onto the reference timeline.
+///
+/// At ratio `r = f_nom / f >= 1` every core cycle spans `r` reference
+/// cycles. Fractional ratios are handled by carrying the residue between
+/// ticks, so the long-run tick rate is exact (e.g. ratio 1.25 produces
+/// strides 1, 1, 1, 2).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CoreClock {
+    ratio: f64,
+    next_tick: Cycle,
+    carry: f64,
+}
+
+impl CoreClock {
+    /// A clock at the nominal frequency (ratio 1: every reference cycle is
+    /// a core cycle).
+    pub fn nominal() -> CoreClock {
+        CoreClock {
+            ratio: 1.0,
+            next_tick: Cycle::ZERO,
+            carry: 0.0,
+        }
+    }
+
+    /// The current dilation ratio (`f_nom / f`).
+    pub fn ratio(&self) -> f64 {
+        self.ratio
+    }
+
+    /// Changes the dilation ratio (a DVFS transition). Takes effect from
+    /// the next tick; the carried residue is cleared so the new cadence
+    /// starts fresh.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio < 1` (cores never overclock past nominal).
+    pub fn set_ratio(&mut self, ratio: f64) {
+        assert!(ratio >= 1.0, "dilation ratio must be >= 1, got {ratio}");
+        if (ratio - self.ratio).abs() > f64::EPSILON {
+            self.ratio = ratio;
+            self.carry = 0.0;
+        }
+    }
+
+    /// Whether a core cycle may execute at reference cycle `now`.
+    pub fn ticks_at(&self, now: Cycle) -> bool {
+        now >= self.next_tick
+    }
+
+    /// The earliest reference cycle at which the next core cycle fires.
+    pub fn next_tick(&self) -> Cycle {
+        self.next_tick
+    }
+
+    /// Consumes the tick at `now` and schedules the next one `ratio`
+    /// reference cycles later (fractionally accumulated).
+    pub fn advance(&mut self, now: Cycle) {
+        debug_assert!(self.ticks_at(now));
+        let exact = self.ratio + self.carry;
+        let stride = exact.floor().max(1.0);
+        self.carry = exact - stride;
+        self.next_tick = now + stride as u64;
+    }
+
+    /// A core-cycle latency expressed in reference cycles (rounded, at
+    /// least 1). Used for fixed microarchitectural latencies (L1 hit,
+    /// mispredict penalty) that are specified in core cycles.
+    pub fn scaled(&self, core_cycles: u64) -> u64 {
+        ((core_cycles as f64 * self.ratio).round() as u64).max(1)
+    }
+}
+
+impl Default for CoreClock {
+    fn default() -> Self {
+        CoreClock::nominal()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_table_is_descending_and_nominal_first() {
+        let t = VfTable::paper_45nm();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.nominal().freq_ghz, 2.0);
+        assert_eq!(t.ratio(0), 1.0);
+        assert!((t.ratio(4) - 2.0 / 1.2).abs() < 1e-12);
+        for i in 1..t.len() {
+            assert!(t.point(i).freq_ghz < t.point(i - 1).freq_ghz);
+            assert!(t.point(i).vdd < t.point(i - 1).vdd);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ascending_frequencies() {
+        VfTable::new(vec![
+            OperatingPoint {
+                freq_ghz: 1.0,
+                vdd: 0.9,
+            },
+            OperatingPoint {
+                freq_ghz: 2.0,
+                vdd: 1.1,
+            },
+        ]);
+    }
+
+    #[test]
+    fn nominal_clock_ticks_every_cycle() {
+        let mut c = CoreClock::nominal();
+        for n in 0..10u64 {
+            assert!(c.ticks_at(Cycle(n)));
+            c.advance(Cycle(n));
+            assert_eq!(c.next_tick(), Cycle(n + 1));
+        }
+    }
+
+    #[test]
+    fn fractional_ratio_averages_exactly() {
+        // Ratio 1.25 -> 100 core cycles must span 125 reference cycles.
+        let mut c = CoreClock::nominal();
+        c.set_ratio(1.25);
+        let mut now = Cycle(0);
+        for _ in 0..100 {
+            assert!(c.ticks_at(now));
+            c.advance(now);
+            now = c.next_tick();
+        }
+        assert_eq!(now, Cycle(125));
+    }
+
+    #[test]
+    fn half_frequency_doubles_strides() {
+        let mut c = CoreClock::nominal();
+        c.set_ratio(2.0);
+        c.advance(Cycle(0));
+        assert_eq!(c.next_tick(), Cycle(2));
+        assert!(!c.ticks_at(Cycle(1)));
+        assert!(c.ticks_at(Cycle(2)));
+    }
+
+    #[test]
+    fn scaled_latencies_round_and_stay_positive() {
+        let mut c = CoreClock::nominal();
+        assert_eq!(c.scaled(2), 2);
+        c.set_ratio(1.25);
+        assert_eq!(c.scaled(2), 3); // 2.5 rounds up
+        assert_eq!(c.scaled(10), 13); // 12.5 rounds up
+        c.set_ratio(1.0);
+        assert_eq!(c.scaled(1), 1);
+    }
+
+    #[test]
+    fn ratio_change_resets_carry() {
+        let mut c = CoreClock::nominal();
+        c.set_ratio(1.5);
+        c.advance(Cycle(0)); // stride 1, carry 0.5
+        c.set_ratio(2.0); // carry cleared
+        c.advance(c.next_tick());
+        assert_eq!(c.next_tick(), Cycle(3), "stride 2 from cycle 1");
+    }
+}

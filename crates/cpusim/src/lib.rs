@@ -13,11 +13,19 @@
 //!
 //! Cores talk to the shared LLC through the [`LlcPort`] trait so the same
 //! core drives any of the five partitioning schemes.
+//!
+//! Per-core DVFS lives in [`clock`]: a [`VfTable`] of discrete V/f operating
+//! points plus the [`CoreClock`] dilation that stretches a down-clocked
+//! core's cycles over the nominal-frequency reference timeline (so DRAM
+//! latency in core cycles shrinks as the clock slows, exactly as in
+//! hardware).
 
 pub mod bpred;
+pub mod clock;
 pub mod core;
 pub mod trace;
 
 pub use bpred::{BranchStats, Gshare};
+pub use clock::{CoreClock, OperatingPoint, VfTable};
 pub use core::{Core, CoreConfig, CoreStats, LlcPort, StepOutcome};
 pub use trace::{Instr, InstrKind, InstrSource};

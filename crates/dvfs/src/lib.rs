@@ -1,0 +1,39 @@
+//! # coop-dvfs — coordinated DVFS + cooperative cache partitioning
+//!
+//! The paper's cooperative takeover machinery saves energy by gating unowned
+//! LLC ways; this crate adds the frequency dimension (after Nejat et al.,
+//! *Coordinated DVFS and cache partitioning under QoS constraints*): a
+//! per-epoch, QoS-constrained minimizer over joint (frequency, way-count)
+//! assignments that finds savings neither knob reaches alone. Memory-bound
+//! cores tolerate down-clocking (their wall time is DRAM latency, which the
+//! core clock does not touch); cache-friendly cores trade ways for voltage.
+//!
+//! The pieces, one module each:
+//!
+//! * [`perf`] — the epoch performance model: predicts each core's time to
+//!   redo its epoch's work at any candidate (frequency, ways) pair from the
+//!   UMON miss curves the LLC already collects, calibrated through the one
+//!   point actually executed;
+//! * [`minimize`] — the QoS-constrained energy minimizer: precomputed
+//!   per-core candidate tables + an `O(cores · ways²)` dynamic program;
+//!   every core stays within `1 + qos_slack` of its max-frequency/fair-share
+//!   baseline and keeps at least one way;
+//! * [`controller`] — the epoch controller gluing both to the simulator:
+//!   consumes cumulative counters, emits way targets for
+//!   `PartitionedLlc::on_epoch_with_allocation` and clock ratios for
+//!   `Core::set_clock_ratio`, and keeps per-operating-point residency books
+//!   for energy accounting.
+//!
+//! The V/f table and clock-dilation mechanics live in [`cpusim::clock`];
+//! voltage-scaled core power lives in [`energy::core_power`]. The
+//! `dvfs_energy` harness experiment sweeps QoS slacks across the paper's
+//! workload groups and reports energy/ED²P against the
+//! cooperative-partitioning-only baseline.
+
+pub mod controller;
+pub mod minimize;
+pub mod perf;
+
+pub use controller::{DvfsConfig, DvfsController, DvfsDecision, Residency};
+pub use minimize::{minimize, CoreAssignment, EnergyCosts, JointAssignment};
+pub use perf::{CorePerfModel, EpochObservation, PerfModelParams};

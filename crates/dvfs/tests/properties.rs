@@ -1,0 +1,117 @@
+//! Property tests for the QoS-constrained minimizer (vendored proptest).
+//!
+//! The two guarantees the subsystem leans on, checked over randomized miss
+//! curves, epoch observations and slack levels:
+//!
+//! * the minimizer never plans a violation of the QoS bound *under its own
+//!   performance model* — every chosen (frequency, ways) pair's predicted
+//!   time stays within `1 + slack` of that core's max-frequency/fair-share
+//!   baseline;
+//! * no active core is ever assigned zero ways (the cooperative-takeover
+//!   invariant), and way targets never oversubscribe the cache.
+
+use coop_dvfs::{minimize, CorePerfModel, EnergyCosts, EpochObservation, PerfModelParams};
+use cpusim::VfTable;
+use proptest::prelude::*;
+
+/// Strategy: a non-increasing miss profile over `ways` ways built from
+/// random per-way drops, plus a matching observation.
+fn core_inputs(ways: usize) -> impl Strategy<Value = (CorePerfModel, f64)> {
+    (
+        proptest::collection::vec(0.0f64..20_000.0, ways),
+        1_000.0f64..2_000_000.0, // compute core cycles
+        1_000u64..2_000_000,     // observed misses scale
+        0u64..100,               // current-ways seed
+    )
+        .prop_map(move |(drops, compute, miss_seed, cur_seed)| {
+            let mut values = Vec::with_capacity(ways + 1);
+            let mut current: f64 = drops.iter().sum::<f64>() + miss_seed as f64;
+            values.push(current);
+            for d in &drops {
+                current -= d;
+                values.push(current.max(0.0));
+            }
+            let curve = coop_core::MissCurve::new(values.clone(), values[0] + 1.0);
+            let params = PerfModelParams::paper_default();
+            let cur_ways = 1 + (cur_seed as usize % ways);
+            let obs = EpochObservation {
+                instrs: 50_000 + miss_seed / 2,
+                ref_cycles: (compute as u64).max(1) + miss_seed * 30,
+                misses: values[cur_ways] as u64,
+                cur_ways,
+                cur_ratio: 1.0,
+            };
+            let model = CorePerfModel::fit(&curve, &obs, &params, ways);
+            (model, params.f_nom_ghz)
+        })
+}
+
+proptest! {
+    #[test]
+    fn minimizer_respects_qos_and_grants_every_core_a_way(
+        inputs in proptest::collection::vec(core_inputs(8), 2..5),
+        slack in 0.0f64..0.5,
+    ) {
+        let table = VfTable::paper_45nm();
+        let costs = EnergyCosts::paper_default();
+        let models: Vec<CorePerfModel> =
+            inputs.iter().map(|(m, _)| m.clone()).collect();
+        let f_nom = inputs[0].1;
+        let total_ways = 8usize;
+        let fair = total_ways / models.len();
+
+        let joint = minimize(&models, &table, &costs, slack, total_ways);
+
+        // Shape invariants.
+        prop_assert_eq!(joint.cores.len(), models.len());
+        let used: usize = joint.way_targets().iter().sum();
+        prop_assert_eq!(used + joint.unallocated, total_ways, "ways conserved");
+        prop_assert!(
+            joint.way_targets().iter().all(|&w| w >= 1),
+            "an active core was assigned zero ways: {:?}",
+            joint.way_targets()
+        );
+
+        // QoS under the minimizer's own model: chosen time within slack of
+        // the per-core baseline, and the reported prediction is honest.
+        for (i, c) in joint.cores.iter().enumerate() {
+            let baseline_ns = models[i].predict_ns(f_nom, fair);
+            let limit_ns = baseline_ns * (1.0 + slack);
+            prop_assert!(
+                c.predicted_ns <= limit_ns + limit_ns * 1e-12,
+                "core {} exceeds QoS: {} > {} (slack {})",
+                i, c.predicted_ns, limit_ns, slack
+            );
+            let recomputed = models[i].predict_ns(table.point(c.op).freq_ghz, c.ways);
+            prop_assert!(
+                (recomputed - c.predicted_ns).abs() <= recomputed * 1e-12,
+                "assignment prediction is not the model's: {} vs {}",
+                recomputed, c.predicted_ns
+            );
+        }
+    }
+
+    #[test]
+    fn minimizer_energy_never_beats_physics(
+        inputs in proptest::collection::vec(core_inputs(8), 2..4),
+        slack in 0.0f64..0.3,
+    ) {
+        // Total energy must be the sum of per-core candidate energies, all
+        // positive and finite (the DP must not fabricate energy from
+        // unreachable states).
+        let table = VfTable::paper_45nm();
+        let costs = EnergyCosts::paper_default();
+        let models: Vec<CorePerfModel> =
+            inputs.iter().map(|(m, _)| m.clone()).collect();
+        let joint = minimize(&models, &table, &costs, slack, 8);
+        let sum: f64 = joint.cores.iter().map(|c| c.energy_nj).sum();
+        prop_assert!(joint.energy_nj.is_finite() && joint.energy_nj > 0.0);
+        prop_assert!(
+            (sum - joint.energy_nj).abs() <= joint.energy_nj * 1e-9,
+            "total {} != per-core sum {}", joint.energy_nj, sum
+        );
+        for c in &joint.cores {
+            prop_assert!(c.energy_nj > 0.0 && c.predicted_ns > 0.0);
+        }
+    }
+}

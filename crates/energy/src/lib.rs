@@ -25,8 +25,14 @@
 //! charges (UMON probes, takeover bit-vector accesses, monitor leakage) is
 //! included.
 
+//! Core-side power for the coordinated DVFS subsystem (`coop-dvfs`) lives
+//! in [`core_power`]: voltage-scaled per-instruction dynamic energy and
+//! leakage for the cores themselves, reported separately from the LLC.
+
 pub mod accounting;
+pub mod core_power;
 pub mod params;
 
 pub use accounting::{EnergyCounts, EnergyReport};
+pub use core_power::{CoreEnergyParams, CoreEnergyReport};
 pub use params::EnergyParams;

@@ -1,8 +1,12 @@
 //! `inspect` — watches one workload group epoch by epoch: UMON miss
 //! curves (CURVES=1), UCP quotas / CP allocations, powered ways and
-//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=ucp|cp|fair|un,
-//! EPOCHS=n (default 34).
+//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=ucp|cp|fair|un|dvfs,
+//! EPOCHS=n (default 34), QOS_SLACK=fraction (dvfs, default 0.10).
+//! Under SCHEME=dvfs the coordinated controller drives the cooperative
+//! machinery and the per-core clock, and each epoch line adds the chosen
+//! frequencies.
 use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+use coop_dvfs::{DvfsConfig, DvfsController};
 use cpusim::{Core, CoreConfig, LlcPort};
 use memsim::{Dram, DramConfig};
 use simkit::types::{CoreId, Cycle, LineAddr};
@@ -26,19 +30,25 @@ fn main() {
         eprintln!(
             "usage: inspect\n\
              env: GROUP=G2-1..G2-14 (default G2-1)\n\
-             \x20    SCHEME=ucp|cp|fair|un (default ucp)\n\
+             \x20    SCHEME=ucp|cp|fair|un|dvfs (default ucp)\n\
              \x20    CURVES=1 to print per-epoch UMON miss curves\n\
-             \x20    EPOCHS=n epochs to watch (default 34)"
+             \x20    EPOCHS=n epochs to watch (default 34)\n\
+             \x20    QOS_SLACK=fraction for SCHEME=dvfs (default 0.10)"
         );
         return;
     }
     let gname = std::env::var("GROUP").unwrap_or_else(|_| "G2-1".into());
+    let dvfs_mode = std::env::var("SCHEME").as_deref() == Ok("dvfs");
     let scheme = match std::env::var("SCHEME").as_deref() {
-        Ok("cp") => SchemeKind::Cooperative,
+        Ok("cp") | Ok("dvfs") => SchemeKind::Cooperative,
         Ok("fair") => SchemeKind::FairShare,
         Ok("un") => SchemeKind::Unmanaged,
         _ => SchemeKind::Ucp,
     };
+    let qos_slack: f64 = std::env::var("QOS_SLACK")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0.10);
     let curves = std::env::var("CURVES").is_ok();
     let epochs: u64 = std::env::var("EPOCHS")
         .ok()
@@ -61,8 +71,13 @@ fn main() {
             )
         })
         .collect();
-    let mut llc = PartitionedLlc::new(LlcConfig::two_core(scheme).with_epoch(500_000), 2);
+    let llc_cfg = LlcConfig::two_core(scheme).with_epoch(500_000);
+    let mut llc = PartitionedLlc::new(llc_cfg, 2);
     let mut dram = Dram::new(DramConfig::default());
+    let mut ctl = dvfs_mode.then(|| {
+        println!("coordinated DVFS enabled, QoS slack {qos_slack:.2}");
+        DvfsController::new(DvfsConfig::paper_default(qos_slack), 2, llc_cfg.geom.ways())
+    });
     let mut now = Cycle::ZERO;
     let mut next_epoch = Cycle(500_000);
     let mut epoch = 0;
@@ -85,7 +100,19 @@ fn main() {
                     println!("e{epoch} {:8} curve: {}", b.name(), m.join(" "));
                 }
             }
-            llc.on_epoch(now, &mut dram);
+            let nominal_ghz = ctl
+                .as_ref()
+                .map_or(2.0, |c| c.config().table.nominal().freq_ghz);
+            let mut ghz = vec![nominal_ghz; cores.len()];
+            if let Some(ctl) = &mut ctl {
+                if let Some(d) = ctl.drive_epoch(now, &mut cores, &mut llc, &mut dram) {
+                    for (&op, g) in d.ops.iter().zip(ghz.iter_mut()) {
+                        *g = ctl.config().table.point(op).freq_ghz;
+                    }
+                }
+            } else {
+                llc.on_epoch(now, &mut dram);
+            }
             let ipcs: Vec<String> = cores
                 .iter()
                 .enumerate()
@@ -95,13 +122,24 @@ fn main() {
                     format!("{:.2}", d as f64 / 500_000.0)
                 })
                 .collect();
-            println!(
-                "e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
-                llc.ucp_quotas(),
-                llc.current_allocation(),
-                llc.ways_on(),
-                ipcs
-            );
+            if ctl.is_some() {
+                let ghz: Vec<String> = ghz.iter().map(|g| format!("{g:.1}")).collect();
+                println!(
+                    "e{epoch} alloc={:?} on={} ghz={:?} ipc={:?}",
+                    llc.current_allocation(),
+                    llc.ways_on(),
+                    ghz,
+                    ipcs
+                );
+            } else {
+                println!(
+                    "e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
+                    llc.ucp_quotas(),
+                    llc.current_allocation(),
+                    llc.ways_on(),
+                    ipcs
+                );
+            }
             next_epoch = now + 500_000;
             epoch += 1;
         }

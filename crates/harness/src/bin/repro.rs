@@ -3,13 +3,18 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment|all> [--scale tiny|small|medium|paper] [--csv DIR]
+//! repro <experiment|all> [--scale quick|tiny|small|medium|paper] [--csv DIR]
+//!       [--slacks 0.05,0.10,0.20]
 //!
 //! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
-//!              fig11 fig12 fig13 fig14 fig15 fig16 all two-core four-core
+//!              fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
+//!              all two-core four-core
 //! ```
 //!
-//! The scale can also be set via the `COOP_SCALE` environment variable.
+//! `dvfs_energy` sweeps the coordinated DVFS + partitioning subsystem's QoS
+//! slack levels (override with `--slacks`) against the Cooperative-only
+//! baseline. The scale can also be set via the `COOP_SCALE` environment
+//! variable.
 
 use std::io::Write as _;
 
@@ -26,6 +31,7 @@ fn main() {
     }
     let mut scale = SimScale::from_env_or(SimScale::small());
     let mut csv_dir: Option<String> = None;
+    let mut slacks: Vec<f64> = Vec::new();
     let mut what = args[0].clone();
     let mut i = 0;
     while i < args.len() {
@@ -39,6 +45,22 @@ fn main() {
                 i += 1;
                 csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
             }
+            "--slacks" => {
+                i += 1;
+                let list = args.get(i).expect("--slacks needs a comma-separated list");
+                slacks = list
+                    .split(',')
+                    .map(|v| {
+                        v.trim()
+                            .parse::<f64>()
+                            .unwrap_or_else(|_| panic!("bad slack '{v}'"))
+                    })
+                    .collect();
+                assert!(
+                    slacks.iter().all(|&s| (0.0..=1.0).contains(&s)),
+                    "slacks must be fractions in [0, 1]"
+                );
+            }
             other if i == 0 => what = other.to_string(),
             other => panic!("unexpected argument '{other}'"),
         }
@@ -50,7 +72,7 @@ fn main() {
         scale.name, scale.instrs_per_app, scale.epoch_cycles
     );
     let start = std::time::Instant::now();
-    let list = select(&what, scale);
+    let list = select(&what, scale, &slacks);
     for e in &list {
         println!("{}", e.render());
         if let Some(dir) = &csv_dir {
@@ -60,8 +82,9 @@ fn main() {
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
 }
 
-fn select(what: &str, scale: SimScale) -> Vec<Experiment> {
+fn select(what: &str, scale: SimScale, slacks: &[f64]) -> Vec<Experiment> {
     match what {
+        "dvfs_energy" => vec![experiments::dvfs_energy::figure(scale, slacks)],
         "table1" => vec![experiments::table1::table()],
         "table3" => vec![experiments::table3::table(scale)],
         "table4" => vec![experiments::table4::table()],
@@ -144,6 +167,7 @@ fn select(what: &str, scale: SimScale) -> Vec<Experiment> {
             v.push(experiments::fig14::figure(scale));
             v.push(experiments::fig15::figure(scale));
             v.push(experiments::fig16::figure(scale));
+            v.push(experiments::dvfs_energy::figure(scale, slacks));
             v
         }
         other => {
@@ -164,7 +188,9 @@ fn write_csv(dir: &str, e: &Experiment) {
 
 fn usage() {
     eprintln!(
-        "usage: repro <experiment|all|two-core|four-core> [--scale tiny|small|medium|paper] [--csv DIR]\n\
-         experiments: table1 table3 table4 fig5..fig16"
+        "usage: repro <experiment|all|two-core|four-core> [--scale quick|tiny|small|medium|paper] [--csv DIR]\n\
+         \x20      [--slacks 0.05,0.10,0.20]\n\
+         experiments: table1 table3 table4 fig5..fig16 dvfs_energy\n\
+         dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep"
     );
 }

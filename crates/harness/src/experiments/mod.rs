@@ -6,6 +6,7 @@
 //! returns an [`Experiment`] holding a rendered table plus free-form notes
 //! comparing against the paper's reported numbers.
 
+pub mod dvfs_energy;
 pub mod fig11_13;
 pub mod fig14;
 pub mod fig15;
@@ -131,6 +132,8 @@ pub fn run_group(group: &WorkloadGroup, scheme: SchemeKind, scale: SimScale) -> 
         dram: memsim::DramConfig::default(),
         scale,
         seed: 0x5EED,
+        core_power: energy::CoreEnergyParams::for_45nm(),
+        dvfs: None,
     };
     let mut sys = System::new(cfg);
     if scheme == SchemeKind::DynamicCpe {
@@ -190,7 +193,7 @@ fn compute_sweep(cores: usize, scale: SimScale) -> Sweep {
 }
 
 /// Runs `f` over `items` on up to `available_parallelism` worker threads.
-fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
+pub(crate) fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
     let n_workers = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4)
@@ -265,6 +268,8 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
             dram: memsim::DramConfig::default(),
             scale,
             seed: 0x5EED,
+            core_power: energy::CoreEnergyParams::for_45nm(),
+            dvfs: None,
         };
         cfg.llc = cfg.llc.with_threshold(fig11_13::THRESHOLDS[t]);
         let result = System::new(cfg).run();

@@ -28,6 +28,19 @@ pub struct SimScale {
 }
 
 impl SimScale {
+    /// Smallest preset: CI smoke invocations of sweep-heavy experiments
+    /// (e.g. `repro dvfs_energy --scale quick`). Enough epochs for the
+    /// controllers to act, nothing more.
+    pub fn quick() -> SimScale {
+        SimScale {
+            name: "quick",
+            warmup_instrs: 120_000,
+            instrs_per_app: 300_000,
+            epoch_cycles: 80_000,
+            max_cycles: 300_000_000,
+        }
+    }
+
     /// Quick preset for CI and `cargo bench` smoke runs (~1/2000 of paper).
     ///
     /// Warm-up is proportionally *longer* than the paper's 5 M cycles / 1 B
@@ -79,6 +92,7 @@ impl SimScale {
     /// Parses a preset by name.
     pub fn by_name(name: &str) -> Option<SimScale> {
         match name {
+            "quick" => Some(SimScale::quick()),
             "tiny" => Some(SimScale::tiny()),
             "small" => Some(SimScale::small()),
             "medium" => Some(SimScale::medium()),
@@ -120,8 +134,17 @@ mod tests {
     }
 
     #[test]
+    fn quick_is_the_smallest_preset() {
+        let q = SimScale::quick();
+        let t = SimScale::tiny();
+        assert!(q.instrs_per_app < t.instrs_per_app);
+        assert!(q.instrs_per_app / q.epoch_cycles >= 3, "several decisions");
+    }
+
+    #[test]
     fn by_name_roundtrip() {
         for s in [
+            SimScale::quick(),
             SimScale::tiny(),
             SimScale::small(),
             SimScale::medium(),

@@ -2,8 +2,9 @@
 
 use coop_core::cpe::CpeProfile;
 use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+use coop_dvfs::{DvfsConfig, DvfsController, Residency};
 use cpusim::{Core, CoreConfig, LlcPort};
-use energy::{EnergyCounts, EnergyParams, EnergyReport};
+use energy::{CoreEnergyParams, CoreEnergyReport, EnergyCounts, EnergyParams, EnergyReport};
 use memsim::{Dram, DramConfig};
 use serde::{Deserialize, Serialize};
 use simkit::types::{CoreId, Cycle, LineAddr};
@@ -26,6 +27,15 @@ pub struct SystemConfig {
     pub scale: SimScale,
     /// Root seed (varies reference streams deterministically).
     pub seed: u64,
+    /// Core energy magnitudes for the non-DVFS accounting path (all cores
+    /// at nominal V/f). [`SystemConfig::with_dvfs`] overwrites this from
+    /// the controller's costs so baseline and coordinated runs always
+    /// evaluate core energy from the same source.
+    pub core_power: CoreEnergyParams,
+    /// Coordinated DVFS + partitioning (requires the Cooperative scheme):
+    /// the epoch controller replaces the LLC's internal look-ahead decision
+    /// and drives per-core frequencies.
+    pub dvfs: Option<DvfsConfig>,
 }
 
 impl SystemConfig {
@@ -39,6 +49,8 @@ impl SystemConfig {
             dram: DramConfig::default(),
             scale,
             seed: 0x5EED,
+            core_power: CoreEnergyParams::for_45nm(),
+            dvfs: None,
         }
     }
 
@@ -52,6 +64,8 @@ impl SystemConfig {
             dram: DramConfig::default(),
             scale,
             seed: 0x5EED,
+            core_power: CoreEnergyParams::for_45nm(),
+            dvfs: None,
         }
     }
 
@@ -68,7 +82,23 @@ impl SystemConfig {
             dram: DramConfig::default(),
             scale,
             seed: 0x5EED,
+            core_power: CoreEnergyParams::for_45nm(),
+            dvfs: None,
         }
+    }
+
+    /// Enables coordinated DVFS + partitioning (Cooperative scheme only).
+    /// The controller's core-energy magnitudes become this config's
+    /// `core_power`, keeping baseline and DVFS accounting comparable.
+    pub fn with_dvfs(mut self, dvfs: DvfsConfig) -> Self {
+        assert_eq!(
+            self.llc.scheme,
+            SchemeKind::Cooperative,
+            "the DVFS controller drives the cooperative takeover machinery"
+        );
+        self.core_power = dvfs.costs.core;
+        self.dvfs = Some(dvfs);
+        self
     }
 }
 
@@ -112,12 +142,37 @@ pub struct RunResult {
     /// Per-epoch UMON miss curves of core 0 (used when profiling solo runs
     /// for the Dynamic CPE scheme).
     pub epoch_curves: Vec<coop_core::MissCurve>,
+    /// Core-side energy over the window (all cores; evaluated at nominal
+    /// V/f when DVFS is off).
+    pub core_energy: CoreEnergyReport,
+    /// Residency-weighted average core frequency per core (GHz).
+    pub avg_freq_ghz: Vec<f64>,
+    /// Fraction of window time each core spent at each V/f operating point
+    /// (nominal first; a single `[1.0]` entry per core without DVFS).
+    pub freq_residency: Vec<Vec<f64>>,
+    /// Mean ways owned per core across the window's partitioning epochs
+    /// (way-aligned schemes; zeros for Unmanaged/UCP).
+    pub avg_ways_owned: Vec<f64>,
 }
 
 impl RunResult {
     /// Weighted speedup against per-core solo IPCs.
     pub fn weighted_speedup(&self, ipc_alone: &[f64]) -> f64 {
         crate::metrics::weighted_speedup(&self.ipc, ipc_alone)
+    }
+
+    /// Whole-system energy over the window: LLC tag + monitoring overhead +
+    /// data array + leakage, plus core dynamic + static.
+    pub fn total_energy_nj(&self) -> f64 {
+        self.energy.dynamic_nj
+            + self.energy.data_nj
+            + self.energy.static_nj
+            + self.core_energy.total_nj()
+    }
+
+    /// Energy–delay-squared product over the window (nJ·cycles²).
+    pub fn ed2p(&self) -> f64 {
+        self.total_energy_nj() * (self.cycles as f64) * (self.cycles as f64)
     }
 }
 
@@ -128,6 +183,11 @@ pub struct System {
     llc: PartitionedLlc,
     dram: Dram,
     now: Cycle,
+    dvfs: Option<DvfsController>,
+    /// Sum of per-core way targets over measured epochs + the epoch count
+    /// (for `RunResult::avg_ways_owned`).
+    way_occupancy: (Vec<u64>, u64),
+    measuring: bool,
 }
 
 struct SharedMem<'a> {
@@ -158,13 +218,31 @@ impl System {
                 Core::new(CoreId(i as u8), cfg.core, Box::new(source))
             })
             .collect();
+        let dvfs = cfg.dvfs.as_ref().map(|d| {
+            assert_eq!(
+                cfg.llc.scheme,
+                SchemeKind::Cooperative,
+                "DVFS coordination requires the Cooperative scheme"
+            );
+            DvfsController::new(d.clone(), n, cfg.llc.geom.ways())
+        });
         System {
             cores,
             llc: PartitionedLlc::new(cfg.llc, n),
             dram: Dram::new(cfg.dram),
             now: Cycle::ZERO,
+            dvfs,
+            way_occupancy: (vec![0; n], 0),
+            measuring: false,
             cfg,
         }
+    }
+
+    /// Cumulative per-core LLC misses (for the DVFS controller's deltas).
+    fn llc_misses(&self) -> Vec<u64> {
+        (0..self.cores.len())
+            .map(|i| self.llc.stats().per_core[i].misses.get())
+            .collect()
     }
 
     /// Installs the Dynamic CPE solo profile (no-op for other schemes).
@@ -198,12 +276,17 @@ impl System {
 
         // ---- Measurement window ----------------------------------------
         let window_start = self.now;
+        self.measuring = true;
+        // Book the warm-up tail at the current operating points so the
+        // residency window starts exactly here.
         let base_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
+        let base_misses = self.llc_misses();
+        let dvfs_books_base: Option<Residency> = self.dvfs.as_mut().map(|ctl| {
+            ctl.settle(window_start, &base_retired, &base_misses);
+            ctl.books().clone()
+        });
         let base_accesses: Vec<u64> = (0..n)
             .map(|i| self.llc.stats().per_core[i].accesses.get())
-            .collect();
-        let base_misses: Vec<u64> = (0..n)
-            .map(|i| self.llc.stats().per_core[i].misses.get())
             .collect();
         let base_flush = self.llc.stats().flush_lines.get();
         let base_counts = self.llc.energy_counts(self.now);
@@ -248,6 +331,68 @@ impl System {
             EnergyParams::for_llc(self.cfg.llc.geom.size_bytes(), self.cfg.llc.geom.ways());
         let flush_series_ts = self.llc.stats().flush_series.clone();
 
+        // ---- Core-side energy and frequency residency -------------------
+        let final_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
+        let final_misses = self.llc_misses();
+        let (core_energy, avg_freq_ghz, freq_residency) =
+            match (self.dvfs.as_mut(), dvfs_books_base) {
+                (Some(ctl), Some(base)) => {
+                    ctl.settle(end, &final_retired, &final_misses);
+                    let window = ctl.books().since(&base);
+                    let fractions: Vec<Vec<f64>> = window
+                        .ref_cycles
+                        .iter()
+                        .map(|row| {
+                            let total: u64 = row.iter().sum();
+                            if total == 0 {
+                                let mut v = vec![0.0; row.len()];
+                                v[0] = 1.0;
+                                v
+                            } else {
+                                row.iter().map(|&r| r as f64 / total as f64).collect()
+                            }
+                        })
+                        .collect();
+                    (
+                        ctl.core_energy(&window),
+                        ctl.avg_freq_ghz(&window),
+                        fractions,
+                    )
+                }
+                _ => {
+                    // Every core at nominal V/f for the whole window.
+                    let p = self.cfg.core_power;
+                    let window_ns = (end - window_start) as f64 / params.clock_ghz;
+                    let dynamic_nj: f64 = (0..n)
+                        .map(|i| {
+                            (final_retired[i] - base_retired[i]) as f64
+                                * p.dynamic_nj_per_instr(p.vdd_nom)
+                        })
+                        .sum();
+                    let static_nj = p.static_nj(p.vdd_nom, window_ns) * n as f64;
+                    (
+                        CoreEnergyReport {
+                            dynamic_nj,
+                            static_nj,
+                        },
+                        vec![params.clock_ghz; n],
+                        vec![vec![1.0]; n],
+                    )
+                }
+            };
+        let avg_ways_owned: Vec<f64> = {
+            let (sums, epochs) = &self.way_occupancy;
+            if *epochs == 0 {
+                self.llc
+                    .current_allocation()
+                    .iter()
+                    .map(|&w| w as f64)
+                    .collect()
+            } else {
+                sums.iter().map(|&s| s as f64 / *epochs as f64).collect()
+            }
+        };
+
         RunResult {
             scheme: self.cfg.llc.scheme,
             ipc,
@@ -266,6 +411,10 @@ impl System {
             flush_bucket: flush_series_ts.bucket_cycles(),
             repartitions: self.llc.stats().repartitions.get(),
             epoch_curves,
+            core_energy,
+            avg_freq_ghz,
+            freq_residency,
+            avg_ways_owned,
         }
     }
 
@@ -290,7 +439,22 @@ impl System {
             if snapshot_curves {
                 epoch_curves.push(self.llc.umon_curve(CoreId(0)));
             }
-            self.llc.on_epoch(self.now, &mut self.dram);
+            // Coordinated decision: the controller's minimizer picks the
+            // joint (frequency, ways) assignment; the LLC's cooperative
+            // takeover machinery enforces the way targets.
+            match self.dvfs.as_mut() {
+                Some(ctl) => {
+                    ctl.drive_epoch(self.now, &mut self.cores, &mut self.llc, &mut self.dram);
+                }
+                None => self.llc.on_epoch(self.now, &mut self.dram),
+            }
+            if self.measuring {
+                let alloc = self.llc.current_allocation();
+                for (acc, w) in self.way_occupancy.0.iter_mut().zip(alloc) {
+                    *acc += w as u64;
+                }
+                self.way_occupancy.1 += 1;
+            }
             *next_epoch = self.now + self.cfg.llc.epoch_cycles;
         }
         next = next.min(*next_epoch);
@@ -382,6 +546,73 @@ mod tests {
             "cooperative should probe far fewer ways: {}",
             cp.avg_ways
         );
+    }
+
+    #[test]
+    fn dvfs_run_reports_residency_and_cuts_core_dynamic_energy() {
+        let mk = |dvfs: bool| {
+            let cfg = SystemConfig::two_core(
+                vec![Benchmark::Lbm, Benchmark::Namd],
+                SchemeKind::Cooperative,
+                quick_scale(),
+            );
+            if dvfs {
+                cfg.with_dvfs(coop_dvfs::DvfsConfig::paper_default(0.20))
+            } else {
+                cfg
+            }
+        };
+        let base = System::new(mk(false)).run();
+        let r = System::new(mk(true)).run();
+        // Residency fractions are a distribution per core.
+        assert_eq!(r.freq_residency.len(), 2);
+        for row in &r.freq_residency {
+            assert_eq!(row.len(), 5, "five V/f points");
+            assert!((row.iter().sum::<f64>() - 1.0).abs() < 1e-9, "{row:?}");
+        }
+        assert!(
+            r.avg_freq_ghz.iter().all(|&f| (1.2..=2.0).contains(&f)),
+            "{:?}",
+            r.avg_freq_ghz
+        );
+        assert!(
+            r.avg_freq_ghz.iter().any(|&f| f < 2.0),
+            "somebody should leave nominal frequency: {:?}",
+            r.avg_freq_ghz
+        );
+        // Same instruction count at equal-or-lower voltage: dynamic core
+        // energy can only fall.
+        assert!(
+            r.core_energy.dynamic_nj <= base.core_energy.dynamic_nj + 1e-6,
+            "{} vs {}",
+            r.core_energy.dynamic_nj,
+            base.core_energy.dynamic_nj
+        );
+        // The baseline books everything at nominal.
+        assert_eq!(base.freq_residency, vec![vec![1.0]; 2]);
+        assert!(base.core_energy.total_nj() > 0.0);
+        assert!(
+            r.avg_ways_owned.iter().all(|&w| w >= 1.0),
+            "{:?}",
+            r.avg_ways_owned
+        );
+    }
+
+    #[test]
+    fn dvfs_replay_is_deterministic() {
+        let mk = || {
+            SystemConfig::two_core(
+                vec![Benchmark::Soplex, Benchmark::Milc],
+                SchemeKind::Cooperative,
+                quick_scale(),
+            )
+            .with_dvfs(coop_dvfs::DvfsConfig::paper_default(0.10))
+        };
+        let a = System::new(mk()).run();
+        let b = System::new(mk()).run();
+        assert_eq!(a.ipc, b.ipc);
+        assert_eq!(a.freq_residency, b.freq_residency);
+        assert_eq!(a.counts, b.counts);
     }
 
     #[test]

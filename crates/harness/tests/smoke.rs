@@ -75,3 +75,32 @@ fn inspect_two_epoch_run_exits_zero() {
         "per-epoch report missing: {text}"
     );
 }
+
+#[test]
+fn inspect_dvfs_run_reports_frequencies() {
+    let out = run(
+        env!("CARGO_BIN_EXE_inspect"),
+        &[],
+        &[("EPOCHS", "3"), ("SCHEME", "dvfs"), ("QOS_SLACK", "0.15")],
+    );
+    assert_ok("inspect (SCHEME=dvfs)", &out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("coordinated DVFS enabled, QoS slack 0.15"),
+        "missing banner: {text}"
+    );
+    assert!(
+        text.contains("ghz=") && text.contains("alloc="),
+        "per-epoch DVFS report missing: {text}"
+    );
+}
+
+#[test]
+fn repro_rejects_bad_slacks() {
+    let out = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &["dvfs_energy", "--slacks", "1.5"],
+        &[],
+    );
+    assert!(!out.status.success(), "slack > 1 must be rejected");
+}

@@ -11,10 +11,14 @@
 //! * [`workloads`] — SPEC CPU2006-like synthetic benchmark models and the
 //!   paper's workload groups.
 //! * [`energy`] — CACTI-style energy accounting.
+//! * [`coop_dvfs`] — coordinated per-core DVFS + partitioning: the epoch
+//!   performance model, the QoS-constrained energy minimizer and the
+//!   controller driving both knobs.
 //! * [`harness`] — experiment runners for every table and figure.
 //! * [`simkit`] — kernel types and statistics.
 
 pub use coop_core;
+pub use coop_dvfs;
 pub use cpusim;
 pub use energy;
 pub use harness;
