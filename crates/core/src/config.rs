@@ -1,7 +1,44 @@
-//! LLC configuration and scheme selection.
+//! LLC configuration, the enforcement-mode vocabulary and the legacy
+//! scheme-selection enum.
 
 use memsim::CacheGeometry;
 use serde::{Deserialize, Serialize};
+
+/// How the LLC *mechanism* enforces a partition. This is the only knob
+/// [`crate::PartitionedLlc`] keys its probe/victim/epoch paths on — scheme
+/// identity stays with the [`crate::policy::PartitionPolicy`] objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EnforcementMode {
+    /// No enforcement: every core probes and fills all ways (global LRU).
+    None,
+    /// UCP-style lazy replacement: all ways are probed and writable, but
+    /// victim selection steers per-set occupancy toward per-core quotas.
+    LazyReplacement,
+    /// Way-aligned RAP/WAP masks; a repartition flushes every way that
+    /// changes hands immediately (Dynamic CPE's application style).
+    ImmediateFlush,
+    /// Way-aligned RAP/WAP masks; a repartition hands ways over through the
+    /// cooperative-takeover protocol (Figure 4) and gates unowned ways.
+    Takeover,
+}
+
+impl EnforcementMode {
+    /// True when data is kept way-aligned (probe masks shrink to owned
+    /// ways — the source of dynamic tag-energy savings — and unowned ways
+    /// can power-gate).
+    pub fn is_way_aligned(self) -> bool {
+        matches!(
+            self,
+            EnforcementMode::ImmediateFlush | EnforcementMode::Takeover
+        )
+    }
+
+    /// True when construction starts from an equal static split (everything
+    /// except [`EnforcementMode::None`], as in the paper's simulations).
+    pub fn starts_partitioned(self) -> bool {
+        self != EnforcementMode::None
+    }
+}
 
 /// Which partitioning scheme the shared LLC runs (Section 3.4).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -45,10 +82,24 @@ impl SchemeKind {
     /// True for the schemes that keep data way-aligned (and can therefore
     /// probe fewer ways and gate unused ones).
     pub fn is_way_aligned(self) -> bool {
-        matches!(
-            self,
-            SchemeKind::FairShare | SchemeKind::DynamicCpe | SchemeKind::Cooperative
-        )
+        self.enforcement().is_way_aligned()
+    }
+
+    /// The enforcement mechanism this scheme's policy drives.
+    pub fn enforcement(self) -> EnforcementMode {
+        match self {
+            SchemeKind::Unmanaged => EnforcementMode::None,
+            SchemeKind::FairShare => EnforcementMode::Takeover,
+            SchemeKind::DynamicCpe => EnforcementMode::ImmediateFlush,
+            SchemeKind::Ucp => EnforcementMode::LazyReplacement,
+            SchemeKind::Cooperative => EnforcementMode::Takeover,
+        }
+    }
+
+    /// Whether the scheme's policy reads the utility monitors (and the LLC
+    /// should therefore feed them on the access path).
+    pub fn uses_umon(self) -> bool {
+        matches!(self, SchemeKind::Ucp | SchemeKind::Cooperative)
     }
 }
 
@@ -115,6 +166,28 @@ impl LlcConfig {
         }
     }
 
+    /// Configuration for an `n`-core system: the paper geometries for up to
+    /// four cores, and a proportionally grown 8 MB / 32-way geometry for the
+    /// 5-8 core systems the takeover structures already support.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero or exceeds 8.
+    pub fn for_cores(cores: usize, scheme: SchemeKind) -> LlcConfig {
+        match cores {
+            1 | 2 => LlcConfig::two_core(scheme),
+            3 | 4 => LlcConfig::four_core(scheme),
+            5..=8 => LlcConfig {
+                geom: CacheGeometry::new(8 << 20, 32, 64),
+                hit_latency: 25,
+                mshrs: 128,
+                scheme,
+                ..LlcConfig::two_core(scheme)
+            },
+            n => panic!("supported systems have 1-8 cores, not {n}"),
+        }
+    }
+
     /// Scales the epoch length (used by reduced-scale reproduction runs).
     pub fn with_epoch(mut self, epoch_cycles: u64) -> LlcConfig {
         self.epoch_cycles = epoch_cycles;
@@ -142,6 +215,36 @@ mod tests {
         assert_eq!(four.geom.ways(), 16);
         assert_eq!(four.hit_latency, 20);
         assert_eq!(four.epoch_cycles, 5_000_000);
+    }
+
+    #[test]
+    fn enforcement_mapping_matches_the_paper_table() {
+        assert_eq!(SchemeKind::Unmanaged.enforcement(), EnforcementMode::None);
+        assert_eq!(
+            SchemeKind::Ucp.enforcement(),
+            EnforcementMode::LazyReplacement
+        );
+        assert_eq!(
+            SchemeKind::DynamicCpe.enforcement(),
+            EnforcementMode::ImmediateFlush
+        );
+        for s in [SchemeKind::FairShare, SchemeKind::Cooperative] {
+            assert_eq!(s.enforcement(), EnforcementMode::Takeover);
+        }
+        assert!(!EnforcementMode::None.is_way_aligned());
+        assert!(!EnforcementMode::LazyReplacement.is_way_aligned());
+        assert!(EnforcementMode::Takeover.is_way_aligned());
+        assert!(!EnforcementMode::None.starts_partitioned());
+        assert!(EnforcementMode::LazyReplacement.starts_partitioned());
+        assert!(SchemeKind::Ucp.uses_umon() && SchemeKind::Cooperative.uses_umon());
+        assert!(!SchemeKind::FairShare.uses_umon());
+    }
+
+    #[test]
+    fn for_cores_picks_paper_geometries() {
+        assert_eq!(LlcConfig::for_cores(2, SchemeKind::Ucp).geom.ways(), 8);
+        assert_eq!(LlcConfig::for_cores(4, SchemeKind::Ucp).geom.ways(), 16);
+        assert_eq!(LlcConfig::for_cores(8, SchemeKind::Ucp).geom.ways(), 32);
     }
 
     #[test]

@@ -12,9 +12,16 @@
 //! | UCP | per-epoch, UMON look-ahead | replacement quotas (lazy) | no | no |
 //! | **Cooperative** | per-epoch, UMON look-ahead **+ threshold** | RAP/WAP + cooperative takeover | **yes** | **yes** |
 //!
-//! Main types:
+//! The crate separates *policy* from *mechanism*:
 //!
-//! * [`PartitionedLlc`] — the shared L2 with pluggable scheme ([`SchemeKind`]);
+//! * [`policy::PartitionPolicy`] — epoch-driven allocation policies (the
+//!   five schemes above, plus `coop-dvfs`'s coordinated controller), each
+//!   owning its decision state and declaring which
+//!   [`EnforcementMode`] it drives;
+//! * [`registry::PolicyRegistry`] — string-keyed policy lookup for the
+//!   binaries and the experiment matrix;
+//! * [`PartitionedLlc`] — the shared L2 as a pure enforcement mechanism
+//!   (masks, takeover, gating, victim selection), scheme-agnostic;
 //! * [`UtilityMonitor`] — UCP-style sampled shadow-tag utility monitor;
 //! * [`lookahead::allocate`] — the look-ahead algorithm with the paper's
 //!   takeover threshold (Algorithm 1);
@@ -42,19 +49,25 @@ pub mod curve;
 pub mod llc;
 pub mod lookahead;
 pub mod overhead;
+pub mod policy;
 pub mod power;
 pub mod rapwap;
+pub mod registry;
 pub mod stats;
 pub mod takeover;
 pub mod ucp;
 pub mod umon;
 
-pub use config::{LlcConfig, SchemeKind};
+pub use config::{EnforcementMode, LlcConfig, SchemeKind};
 pub use curve::MissCurve;
 pub use llc::PartitionedLlc;
 pub use lookahead::{allocate, Allocation};
 pub use overhead::HardwareOverhead;
+pub use policy::{
+    policy_for_scheme, AllocationDecision, EpochObservations, PartitionPolicy, ResourceHints,
+};
 pub use rapwap::PermissionFile;
+pub use registry::{PolicyEntry, PolicyRegistry, PolicySpec, UnknownPolicy, PAPER_POLICIES};
 pub use stats::LlcStats;
 pub use takeover::TakeoverEventKind;
 pub use umon::UtilityMonitor;

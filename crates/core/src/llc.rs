@@ -1,18 +1,25 @@
-//! The partitioned shared last-level cache.
+//! The partitioned shared last-level cache: a pure enforcement *mechanism*.
 //!
-//! [`PartitionedLlc`] implements the paper's LLC with a pluggable scheme:
+//! [`PartitionedLlc`] no longer knows which scheme is running. Its
+//! probe/victim/epoch paths key on an
+//! [`EnforcementMode`] alone:
 //!
 //! * the **probe path** consults only the ways the issuing core may read
-//!   (RAP mask) for way-aligned schemes — the source of dynamic (tag-side)
-//!   energy savings — or all ways for Unmanaged/UCP;
-//! * the **replacement path** fills only ways the core may write (WAP mask),
-//!   keeping data way-aligned; UCP instead enforces per-set quotas through
-//!   victim choice; Unmanaged is plain global LRU;
-//! * the **epoch controller** ([`PartitionedLlc::on_epoch`]) reads the
-//!   utility monitors, runs the (threshold) look-ahead algorithm and applies
-//!   the new partition — via cooperative takeover (Cooperative), immediate
-//!   flushes (Dynamic CPE) or quota updates (UCP);
-//! * unowned ways are power-gated (Cooperative / Dynamic CPE).
+//!   (RAP mask) under way-aligned enforcement — the source of dynamic
+//!   (tag-side) energy savings — or all ways under
+//!   `None`/`LazyReplacement`;
+//! * the **replacement path** fills only ways the core may write (WAP
+//!   mask) under way-aligned enforcement; `LazyReplacement` enforces
+//!   per-set quotas through victim choice; `None` is plain global LRU;
+//! * [`PartitionedLlc::apply_decision`] applies whatever a
+//!   [`PartitionPolicy`] decided — via
+//!   cooperative takeover (`Takeover`), immediate flushes
+//!   (`ImmediateFlush`) or quota updates (`LazyReplacement`);
+//! * unowned ways are power-gated (way-aligned modes).
+//!
+//! Allocation *policy* — which core deserves how many ways — lives in
+//! [`crate::policy`]; the legacy [`PartitionedLlc::on_epoch`] entry keeps a
+//! scheme policy embedded for callers that predate the split.
 //!
 //! Timing is latency-return: an access at cycle `t` answers with its fill
 //! completion cycle, going through the LLC MSHRs and the banked DRAM.
@@ -24,10 +31,13 @@ use simkit::DetRng;
 
 use energy::EnergyCounts;
 
-use crate::config::{LlcConfig, SchemeKind};
-use crate::cpe::{cpe_allocate, CpeProfile};
+use crate::config::{EnforcementMode, LlcConfig};
+use crate::cpe::CpeProfile;
 use crate::curve::MissCurve;
-use crate::lookahead::{allocate, Allocation};
+use crate::lookahead::Allocation;
+use crate::policy::{
+    policy_for_scheme, AllocationDecision, DynamicCpePolicy, EpochObservations, PartitionPolicy,
+};
 use crate::power::WayPower;
 use crate::rapwap::PermissionFile;
 use crate::stats::LlcStats;
@@ -40,6 +50,8 @@ use crate::umon::UtilityMonitor;
 pub struct PartitionedLlc {
     cfg: LlcConfig,
     cores: usize,
+    mode: EnforcementMode,
+    umon_enabled: bool,
     sets: Vec<CacheSet>,
     all_ways: WayMask,
     perms: PermissionFile,
@@ -48,8 +60,6 @@ pub struct PartitionedLlc {
     mshr: MshrFile,
     take: TakeoverState,
     ucp: UcpState,
-    cpe_profile: CpeProfile,
-    cpe_slack: f64,
     epoch_index: u64,
     last_decision: Cycle,
     rng: DetRng,
@@ -60,23 +70,59 @@ pub struct PartitionedLlc {
     demand_ways_consulted: u64,
     /// Target way ownership from the latest decision (`None` = unallocated).
     target_owner: Vec<Option<CoreId>>,
+    /// Scheme policy embedded for the legacy [`PartitionedLlc::on_epoch`]
+    /// entry; `None` for mechanisms driven externally via
+    /// [`PartitionedLlc::apply_decision`].
+    compat: Option<Box<dyn PartitionPolicy>>,
 }
 
 impl PartitionedLlc {
-    /// Creates the LLC for `cores` cores, initially partitioned evenly
-    /// (all schemes start from the Fair Share state, as in the paper's
-    /// simulations after warm-up).
+    /// Creates the LLC for `cores` cores running `cfg.scheme`, with a
+    /// matching scheme policy embedded so the legacy
+    /// [`PartitionedLlc::on_epoch`] entry keeps working. New code should
+    /// build the mechanism with [`PartitionedLlc::for_policy`] and drive
+    /// epochs externally.
     ///
     /// # Panics
     ///
     /// Panics if `cores` is zero, exceeds the geometry's ways, or exceeds 8.
     pub fn new(cfg: LlcConfig, cores: usize) -> PartitionedLlc {
+        let policy = policy_for_scheme(cfg.scheme, &cfg);
+        let mut llc = PartitionedLlc::for_policy(cfg, cores, policy.as_ref());
+        llc.compat = Some(policy);
+        llc
+    }
+
+    /// Creates the enforcement mechanism matching `policy`'s descriptor
+    /// (enforcement mode + monitor use). The policy itself stays with the
+    /// caller, who drives epochs through [`PartitionedLlc::apply_decision`].
+    pub fn for_policy(
+        cfg: LlcConfig,
+        cores: usize,
+        policy: &dyn PartitionPolicy,
+    ) -> PartitionedLlc {
+        PartitionedLlc::mechanism(cfg, cores, policy.enforcement(), policy.uses_umon())
+    }
+
+    /// Creates the bare mechanism, initially partitioned evenly for every
+    /// mode that partitions at all (all schemes start from the Fair Share
+    /// state, as in the paper's simulations after warm-up).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cores` is zero, exceeds the geometry's ways, or exceeds 8.
+    pub fn mechanism(
+        cfg: LlcConfig,
+        cores: usize,
+        mode: EnforcementMode,
+        umon_enabled: bool,
+    ) -> PartitionedLlc {
         let ways = cfg.geom.ways();
         let sets = cfg.geom.sets();
         assert!(cores >= 1 && cores <= ways && cores <= 8);
         let mut perms = PermissionFile::new(ways, cores);
         let mut target_owner = vec![None; ways];
-        if cfg.scheme != SchemeKind::Unmanaged {
+        if mode.starts_partitioned() {
             // Equal static split; remainder ways go to the lowest cores.
             let base = ways / cores;
             let extra = ways % cores;
@@ -94,6 +140,8 @@ impl PartitionedLlc {
         PartitionedLlc {
             cfg,
             cores,
+            mode,
+            umon_enabled,
             sets: (0..sets).map(|_| CacheSet::new(ways)).collect(),
             all_ways: WayMask::all(ways),
             perms,
@@ -104,8 +152,6 @@ impl PartitionedLlc {
             mshr: MshrFile::new(cfg.mshrs),
             take: TakeoverState::new(sets, cores),
             ucp: UcpState::new(cores, ways),
-            cpe_profile: CpeProfile::default(),
-            cpe_slack: 0.05,
             epoch_index: 0,
             last_decision: Cycle::ZERO,
             rng: DetRng::derive(cfg.seed, "llc"),
@@ -113,6 +159,7 @@ impl PartitionedLlc {
             energy: EnergyCounts::default(),
             demand_ways_consulted: 0,
             target_owner,
+            compat: None,
         }
     }
 
@@ -124,6 +171,17 @@ impl PartitionedLlc {
     /// Number of cores sharing the cache.
     pub fn cores(&self) -> usize {
         self.cores
+    }
+
+    /// The enforcement mode in operation.
+    pub fn enforcement(&self) -> EnforcementMode {
+        self.mode
+    }
+
+    /// Index of the next epoch to be closed by
+    /// [`PartitionedLlc::apply_decision`].
+    pub fn epoch_index(&self) -> u64 {
+        self.epoch_index
     }
 
     /// Run statistics.
@@ -170,9 +228,18 @@ impl PartitionedLlc {
         self.umons[core.index()].miss_curve()
     }
 
-    /// Installs the solo-run profile that drives the Dynamic CPE scheme.
+    /// Installs the solo-run profile into the embedded Dynamic CPE policy.
+    /// No-op when the embedded policy is a different scheme (or when the
+    /// mechanism is driven externally — install the profile into your own
+    /// [`DynamicCpePolicy`] instead).
     pub fn set_cpe_profile(&mut self, profile: CpeProfile) {
-        self.cpe_profile = profile;
+        if let Some(p) = self
+            .compat
+            .as_mut()
+            .and_then(|p| (p.as_mut() as &mut dyn std::any::Any).downcast_mut::<DynamicCpePolicy>())
+        {
+            p.set_profile(profile);
+        }
     }
 
     /// Average ways consulted per demand access (paper Section 4.1 quotes
@@ -203,9 +270,9 @@ impl PartitionedLlc {
     ///
     /// # Panics
     ///
-    /// Panics if the scheme is not [`SchemeKind::Cooperative`].
+    /// Panics if the enforcement mode is not [`EnforcementMode::Takeover`].
     pub fn begin_transition_for_demo(&mut self, _now: Cycle, t: Transition) {
-        assert_eq!(self.cfg.scheme, SchemeKind::Cooperative);
+        assert_eq!(self.mode, EnforcementMode::Takeover);
         if let Some(r) = t.recipient {
             self.perms.grant_full(t.way, r);
             self.target_owner[t.way] = Some(r);
@@ -238,9 +305,7 @@ impl PartitionedLlc {
         self.energy.tag_way_probes += probe.count() as u64;
         self.demand_ways_consulted += probe.count() as u64;
 
-        if matches!(self.cfg.scheme, SchemeKind::Ucp | SchemeKind::Cooperative)
-            && self.umons[core.index()].observe(set_idx, tag)
-        {
+        if self.umon_enabled && self.umons[core.index()].observe(set_idx, tag) {
             self.energy.umon_probes += 1;
         }
 
@@ -258,7 +323,7 @@ impl PartitionedLlc {
         }
         let hit = hit_way.is_some();
 
-        if self.cfg.scheme == SchemeKind::Cooperative && self.take.active() {
+        if self.mode == EnforcementMode::Takeover && self.take.active() {
             self.takeover_hooks(now, core, set_idx, hit, dram);
         }
 
@@ -294,13 +359,13 @@ impl PartitionedLlc {
                 let victim_line = self.cfg.geom.line_from(prev.tag, set_idx);
                 dram.write(now, victim_line);
                 self.stats.writebacks.inc();
-                if self.cfg.scheme == SchemeKind::Ucp && stolen {
-                    // UCP migration flush: the donor's dirty block leaves on
-                    // a recipient miss (Figure 16's UCP series).
+                if self.mode == EnforcementMode::LazyReplacement && stolen {
+                    // Lazy-quota migration flush: the donor's dirty block
+                    // leaves on a recipient miss (Figure 16's UCP series).
                     self.record_flush(now, 1);
                 }
             }
-            if self.cfg.scheme == SchemeKind::Ucp && stolen {
+            if self.mode == EnforcementMode::LazyReplacement && stolen {
                 self.ucp.on_steal(now, core, set_idx);
             }
         }
@@ -337,105 +402,103 @@ impl PartitionedLlc {
 
     // ----------------------------------------------------------- partitioning
 
-    /// Runs the periodic monitoring/partitioning decision (every
-    /// `epoch_cycles`; the system loop calls this).
-    pub fn on_epoch(&mut self, now: Cycle, dram: &mut Dram) {
-        self.power.advance(now);
-        self.stats.decisions.inc();
-        match self.cfg.scheme {
-            SchemeKind::Unmanaged | SchemeKind::FairShare => {}
-            SchemeKind::Ucp => {
-                let curves: Vec<MissCurve> = self.umons.iter().map(|u| u.miss_curve()).collect();
-                let alloc = allocate(&curves, self.cfg.geom.ways(), 0.0);
-                if alloc.ways != self.ucp.quotas {
-                    self.stats.repartitions.inc();
-                }
-                self.ucp
-                    .apply_decision(now, &alloc.ways, self.cfg.geom.sets());
-                for u in &mut self.umons {
-                    u.age();
-                }
-            }
-            SchemeKind::DynamicCpe => {
-                let have_all =
-                    (0..self.cores).all(|c| self.cpe_profile.curve(c, self.epoch_index).is_some());
-                if have_all {
-                    let curves: Vec<MissCurve> = (0..self.cores)
-                        .map(|c| {
-                            self.cpe_profile
-                                .curve(c, self.epoch_index)
-                                .expect("checked above")
-                                .clone()
-                        })
-                        .collect();
-                    let refs: Vec<&MissCurve> = curves.iter().collect();
-                    let alloc = cpe_allocate(&refs, self.cfg.geom.ways(), self.cpe_slack);
-                    self.apply_immediate(now, &alloc, dram);
-                }
-            }
-            SchemeKind::Cooperative => {
-                let curves: Vec<MissCurve> = self.umons.iter().map(|u| u.miss_curve()).collect();
-                let alloc = allocate(&curves, self.cfg.geom.ways(), self.cfg.threshold);
-                self.cooperative_epoch(now, dram, &alloc);
-            }
-        }
-        self.epoch_index += 1;
-        self.last_decision = now;
-    }
-
-    /// The Cooperative scheme's epoch body, shared by the internal decision
-    /// path and [`PartitionedLlc::on_epoch_with_allocation`]: times out
-    /// transfers stuck for more than the configured number of epochs (e.g.
-    /// a donor that never touches some sets again), applies `alloc` through
-    /// Algorithm 2 and ages the utility monitors.
-    fn cooperative_epoch(&mut self, now: Cycle, dram: &mut Dram, alloc: &Allocation) {
-        let cutoff = self
-            .epoch_index
-            .saturating_sub(self.cfg.transition_timeout_epochs as u64);
-        self.force_complete_where(now, dram, |t| t.epoch < cutoff);
-        self.apply_cooperative(now, alloc);
-        for u in &mut self.umons {
-            u.age();
+    /// Assembles the observations a [`PartitionPolicy`] sees at an epoch
+    /// boundary: UMON curves, current way ownership and cumulative miss
+    /// counters. `retired` carries the per-core cumulative retired
+    /// instructions when the caller has core-side counters (pass an empty
+    /// vector otherwise; the cache-only policies never read it).
+    pub fn epoch_observations(&self, now: Cycle, retired: Vec<u64>) -> EpochObservations {
+        EpochObservations {
+            now,
+            epoch_index: self.epoch_index,
+            total_ways: self.cfg.geom.ways(),
+            curves: self.umons.iter().map(|u| u.miss_curve()).collect(),
+            cur_ways: self.current_allocation(),
+            misses: self.stats.per_core.iter().map(|c| c.misses.get()).collect(),
+            retired,
         }
     }
 
-    /// Runs the periodic epoch bookkeeping with an *externally chosen*
-    /// allocation instead of the internal look-ahead decision.
-    ///
-    /// This is the hook the coordinated DVFS controller (`coop-dvfs`) drives:
-    /// its QoS-constrained minimizer picks joint (frequency, way-count)
-    /// targets from the same UMON curves, then hands the way targets here so
-    /// the existing cooperative-takeover machinery (RAP/WAP hand-off,
-    /// takeover bit vectors, way gating) enforces them. Transition timeouts
-    /// and UMON aging behave exactly as in [`PartitionedLlc::on_epoch`].
+    /// Closes an epoch by applying a policy's decision through this
+    /// mechanism's enforcement mode: new way targets go through cooperative
+    /// takeover (`Takeover`), immediate flushes (`ImmediateFlush`) or
+    /// replacement quotas (`LazyReplacement`); under `Takeover`,
+    /// transitions stuck for more than the configured number of epochs are
+    /// force-completed first. The utility monitors age when the decision
+    /// asks for it.
     ///
     /// # Panics
     ///
-    /// Panics if the scheme is not [`SchemeKind::Cooperative`], if
-    /// `alloc.ways` does not cover every core, if it allocates zero ways to
-    /// a core, or if it oversubscribes the cache.
-    pub fn on_epoch_with_allocation(&mut self, now: Cycle, dram: &mut Dram, alloc: &Allocation) {
-        assert_eq!(
-            self.cfg.scheme,
-            SchemeKind::Cooperative,
-            "external allocations drive the cooperative takeover machinery"
-        );
-        assert_eq!(alloc.ways.len(), self.cores, "one way target per core");
-        assert!(
-            alloc.ways.iter().all(|&w| w >= 1),
-            "every active core keeps at least one way: {:?}",
-            alloc.ways
-        );
-        assert!(
-            alloc.ways.iter().sum::<usize>() <= self.cfg.geom.ways(),
-            "allocation exceeds associativity: {:?}",
-            alloc.ways
-        );
+    /// Panics if the decision carries an allocation and the mode is
+    /// [`EnforcementMode::None`], if the allocation does not cover every
+    /// core, if it oversubscribes the cache, or if a way-aligned mode gets
+    /// a zero-way core (the probe path requires every core to own a way).
+    pub fn apply_decision(&mut self, now: Cycle, dram: &mut Dram, decision: &AllocationDecision) {
         self.power.advance(now);
         self.stats.decisions.inc();
-        self.cooperative_epoch(now, dram, alloc);
+        if let Some(alloc) = &decision.allocation {
+            assert_eq!(alloc.ways.len(), self.cores, "one way target per core");
+            assert!(
+                alloc.ways.iter().sum::<usize>() <= self.cfg.geom.ways(),
+                "allocation exceeds associativity: {:?}",
+                alloc.ways
+            );
+            assert!(
+                !self.mode.is_way_aligned() || alloc.ways.iter().all(|&w| w >= 1),
+                "way-aligned enforcement keeps every core at least one way: {:?}",
+                alloc.ways
+            );
+            match self.mode {
+                EnforcementMode::None => {
+                    panic!("an unpartitioned LLC cannot apply way targets")
+                }
+                EnforcementMode::LazyReplacement => {
+                    if alloc.ways != self.ucp.quotas {
+                        self.stats.repartitions.inc();
+                    }
+                    self.ucp
+                        .apply_decision(now, &alloc.ways, self.cfg.geom.sets());
+                }
+                EnforcementMode::ImmediateFlush => self.apply_immediate(now, alloc, dram),
+                EnforcementMode::Takeover => {
+                    // Time out transfers stuck for more than the configured
+                    // number of epochs (e.g. a donor that never touches
+                    // some sets again), then run Algorithm 2.
+                    let cutoff = self
+                        .epoch_index
+                        .saturating_sub(self.cfg.transition_timeout_epochs as u64);
+                    self.force_complete_where(now, dram, |t| t.epoch < cutoff);
+                    self.apply_cooperative(now, alloc);
+                }
+            }
+        }
+        if decision.age_umons {
+            for u in &mut self.umons {
+                u.age();
+            }
+        }
         self.epoch_index += 1;
         self.last_decision = now;
+    }
+
+    /// Legacy entry: runs the embedded scheme policy installed by
+    /// [`PartitionedLlc::new`] and applies its decision (every
+    /// `epoch_cycles`). Externally driven mechanisms call
+    /// [`PartitionedLlc::apply_decision`] instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a mechanism built without an embedded policy
+    /// ([`PartitionedLlc::for_policy`] / [`PartitionedLlc::mechanism`]).
+    pub fn on_epoch(&mut self, now: Cycle, dram: &mut Dram) {
+        let mut policy = self.compat.take().expect(
+            "no embedded policy: mechanisms built with for_policy/mechanism \
+             are driven externally through apply_decision",
+        );
+        let obs = self.epoch_observations(now, Vec::new());
+        let decision = policy.on_epoch(&obs);
+        self.compat = Some(policy);
+        self.apply_decision(now, dram, &decision);
     }
 
     /// Algorithm 2: sets RAP/WAP registers and starts cooperative takeover
@@ -712,28 +775,26 @@ impl PartitionedLlc {
 
     /// Mask of ways `core` probes on an access.
     fn probe_mask(&self, core: CoreId) -> WayMask {
-        match self.cfg.scheme {
-            SchemeKind::Unmanaged | SchemeKind::Ucp => self.all_ways,
-            _ => self.perms.read_mask(core),
+        if self.mode.is_way_aligned() {
+            self.perms.read_mask(core)
+        } else {
+            self.all_ways
         }
     }
 
     /// Whether `core` may install/modify data in `way`.
     fn write_allowed(&self, core: CoreId, way: usize) -> bool {
-        match self.cfg.scheme {
-            SchemeKind::Unmanaged | SchemeKind::Ucp => true,
-            _ => self.perms.write_mask(core).contains(way),
-        }
+        !self.mode.is_way_aligned() || self.perms.write_mask(core).contains(way)
     }
 
     /// Picks the way a miss by `core` fills in `set_idx`.
     fn choose_victim(&mut self, core: CoreId, set_idx: usize) -> usize {
-        match self.cfg.scheme {
-            SchemeKind::Unmanaged => self.sets[set_idx]
+        match self.mode {
+            EnforcementMode::None => self.sets[set_idx]
                 .victim(self.all_ways)
                 .expect("all-ways mask is never empty"),
-            SchemeKind::Ucp => self.ucp_victim(core, set_idx),
-            _ => {
+            EnforcementMode::LazyReplacement => self.ucp_victim(core, set_idx),
+            EnforcementMode::ImmediateFlush | EnforcementMode::Takeover => {
                 let mask = self.perms.write_mask(core);
                 debug_assert!(!mask.is_empty());
                 self.sets[set_idx]
@@ -884,7 +945,14 @@ impl PartitionedLlc {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::SchemeKind;
     use memsim::{CacheGeometry, DramConfig};
+
+    /// External-drive helper standing in for the deleted
+    /// `on_epoch_with_allocation`: a takeover repartition decision.
+    fn takeover_decision(ways: Vec<usize>, unallocated: usize) -> AllocationDecision {
+        AllocationDecision::repartition(Allocation { ways, unallocated })
+    }
 
     fn tiny_cfg(scheme: SchemeKind) -> LlcConfig {
         LlcConfig {
@@ -1111,44 +1179,16 @@ mod tests {
         }
         // External decision: core 0 shrinks to 1 way, core 1 keeps 2,
         // 1 way drains toward power-off.
-        llc.on_epoch_with_allocation(
-            Cycle(1000),
-            &mut d,
-            &Allocation {
-                ways: vec![1, 2],
-                unallocated: 1,
-            },
-        );
+        llc.apply_decision(Cycle(1000), &mut d, &takeover_decision(vec![1, 2], 1));
         assert_eq!(llc.current_allocation(), vec![1, 2]);
         assert!(llc.takeover().active(), "drain transition in flight");
         // The next epoch's timeout force-completes the drain; the way gates.
-        llc.on_epoch_with_allocation(
-            Cycle(21_000),
-            &mut d,
-            &Allocation {
-                ways: vec![1, 2],
-                unallocated: 1,
-            },
-        );
-        llc.on_epoch_with_allocation(
-            Cycle(41_000),
-            &mut d,
-            &Allocation {
-                ways: vec![1, 2],
-                unallocated: 1,
-            },
-        );
+        llc.apply_decision(Cycle(21_000), &mut d, &takeover_decision(vec![1, 2], 1));
+        llc.apply_decision(Cycle(41_000), &mut d, &takeover_decision(vec![1, 2], 1));
         assert_eq!(llc.ways_on(), 3, "unallocated way gated after drain");
         assert!(llc.permissions().check_invariants().is_ok());
         // Growing back re-powers a gated way instantly.
-        llc.on_epoch_with_allocation(
-            Cycle(61_000),
-            &mut d,
-            &Allocation {
-                ways: vec![2, 2],
-                unallocated: 0,
-            },
-        );
+        llc.apply_decision(Cycle(61_000), &mut d, &takeover_decision(vec![2, 2], 0));
         assert_eq!(llc.ways_on(), 4);
         assert_eq!(llc.current_allocation(), vec![2, 2]);
     }
@@ -1158,29 +1198,28 @@ mod tests {
     fn external_allocation_rejects_zero_way_cores() {
         let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Cooperative), 2);
         let mut d = dram();
-        llc.on_epoch_with_allocation(
-            Cycle(0),
-            &mut d,
-            &Allocation {
-                ways: vec![0, 4],
-                unallocated: 0,
-            },
-        );
+        llc.apply_decision(Cycle(0), &mut d, &takeover_decision(vec![0, 4], 0));
     }
 
     #[test]
     #[should_panic]
-    fn external_allocation_rejects_wrong_scheme() {
-        let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Ucp), 2);
+    fn unpartitioned_mechanism_rejects_way_targets() {
+        let mut llc = PartitionedLlc::new(tiny_cfg(SchemeKind::Unmanaged), 2);
         let mut d = dram();
-        llc.on_epoch_with_allocation(
-            Cycle(0),
-            &mut d,
-            &Allocation {
-                ways: vec![2, 2],
-                unallocated: 0,
-            },
-        );
+        llc.apply_decision(Cycle(0), &mut d, &takeover_decision(vec![2, 2], 0));
+    }
+
+    #[test]
+    fn external_mechanism_has_no_embedded_policy() {
+        let policy = crate::policy::CooperativePolicy { threshold: 0.03 };
+        let llc = PartitionedLlc::for_policy(tiny_cfg(SchemeKind::Cooperative), 2, &policy);
+        assert_eq!(llc.enforcement(), EnforcementMode::Takeover);
+        assert_eq!(llc.epoch_index(), 0);
+        // Observations are assembled even before any epoch ran.
+        let obs = llc.epoch_observations(Cycle(0), vec![0, 0]);
+        assert_eq!(obs.cores(), 2);
+        assert_eq!(obs.total_ways, 4);
+        assert_eq!(obs.cur_ways, vec![2, 2]);
     }
 
     #[test]

@@ -1,24 +1,23 @@
 //! The per-epoch DVFS + partitioning controller.
 //!
-//! [`DvfsController`] sits beside the `Cooperative` LLC scheme: at every
-//! epoch boundary it turns the UMON miss curves plus the last epoch's
-//! per-core counters into fitted [`CorePerfModel`]s, runs the
-//! QoS-constrained [`minimize`] and returns a [`DvfsDecision`] — way targets
-//! for `PartitionedLlc::on_epoch_with_allocation` (the existing
-//! look-ahead/takeover machinery enforces them) and an operating point per
-//! core for `Core::set_clock_ratio`.
+//! [`DvfsController`] is the decision engine behind the
+//! [`DvfsPolicy`](crate::DvfsPolicy): at every epoch boundary it turns the
+//! UMON miss curves plus the last epoch's per-core counters into fitted
+//! [`CorePerfModel`]s, runs the QoS-constrained [`minimize`] and returns a
+//! [`DvfsDecision`] — way targets for the LLC's cooperative-takeover
+//! enforcement and an operating point per core for
+//! `Core::set_clock_ratio`.
 //!
 //! The controller also keeps the books DVFS energy accounting needs: how
 //! many reference cycles and retired instructions each core spent at each
 //! operating point (*frequency residency*). The harness snapshots these at
 //! the measurement-window start and evaluates core energy over the window.
 
-use coop_core::{Allocation, MissCurve, PartitionedLlc};
-use cpusim::{Core, VfTable};
+use coop_core::{Allocation, MissCurve};
+use cpusim::VfTable;
 use energy::CoreEnergyReport;
-use memsim::Dram;
 use serde::{Deserialize, Serialize};
-use simkit::types::{CoreId, Cycle};
+use simkit::types::Cycle;
 
 use crate::minimize::{minimize, EnergyCosts, JointAssignment};
 use crate::perf::{CorePerfModel, EpochObservation, PerfModelParams};
@@ -235,46 +234,6 @@ impl DvfsController {
             ratios,
             joint,
         })
-    }
-
-    /// The one integration point between the controller and a simulated
-    /// system: collects this epoch's inputs (UMON curves, cumulative
-    /// retired/miss counters, current way ownership), decides, and applies
-    /// the decision — way targets through
-    /// [`PartitionedLlc::on_epoch_with_allocation`], clock ratios through
-    /// [`Core::set_clock_ratio`]. When no time has elapsed since the last
-    /// decision the LLC's internal epoch runs instead.
-    ///
-    /// Both the harness `System` loop and the `inspect` binary drive epochs
-    /// through this method, so they can never diverge.
-    pub fn drive_epoch(
-        &mut self,
-        now: Cycle,
-        cores: &mut [Core],
-        llc: &mut PartitionedLlc,
-        dram: &mut Dram,
-    ) -> Option<DvfsDecision> {
-        let curves: Vec<MissCurve> = (0..cores.len())
-            .map(|i| llc.umon_curve(CoreId(i as u8)))
-            .collect();
-        let retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
-        let misses: Vec<u64> = (0..cores.len())
-            .map(|i| llc.stats().per_core[i].misses.get())
-            .collect();
-        let cur_ways = llc.current_allocation();
-        match self.on_epoch(now, &curves, &retired, &misses, &cur_ways) {
-            Some(d) => {
-                llc.on_epoch_with_allocation(now, dram, &d.allocation);
-                for (core, &r) in cores.iter_mut().zip(d.ratios.iter()) {
-                    core.set_clock_ratio(r);
-                }
-                Some(d)
-            }
-            None => {
-                llc.on_epoch(now, dram);
-                None
-            }
-        }
     }
 
     /// The cumulative residency books (snapshot these at window start).

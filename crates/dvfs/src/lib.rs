@@ -14,15 +14,17 @@
 //!   redo its epoch's work at any candidate (frequency, ways) pair from the
 //!   UMON miss curves the LLC already collects, calibrated through the one
 //!   point actually executed;
-//! * [`minimize`] — the QoS-constrained energy minimizer: precomputed
+//! * [`mod@minimize`] — the QoS-constrained energy minimizer: precomputed
 //!   per-core candidate tables + an `O(cores · ways²)` dynamic program;
 //!   every core stays within `1 + qos_slack` of its max-frequency/fair-share
 //!   baseline and keeps at least one way;
-//! * [`controller`] — the epoch controller gluing both to the simulator:
-//!   consumes cumulative counters, emits way targets for
-//!   `PartitionedLlc::on_epoch_with_allocation` and clock ratios for
-//!   `Core::set_clock_ratio`, and keeps per-operating-point residency books
-//!   for energy accounting.
+//! * [`controller`] — the epoch decision engine: consumes cumulative
+//!   counters, emits way targets and clock ratios, and keeps
+//!   per-operating-point residency books for energy accounting;
+//! * [`policy`] — [`DvfsPolicy`], the controller wrapped as a
+//!   `coop_core::policy::PartitionPolicy` and registered as `"dvfs"`: way
+//!   targets flow through the LLC's ordinary takeover enforcement,
+//!   frequencies through the decision's clock hints.
 //!
 //! The V/f table and clock-dilation mechanics live in [`cpusim::clock`];
 //! voltage-scaled core power lives in [`energy::core_power`]. The
@@ -33,7 +35,9 @@
 pub mod controller;
 pub mod minimize;
 pub mod perf;
+pub mod policy;
 
 pub use controller::{DvfsConfig, DvfsController, DvfsDecision, Residency};
 pub use minimize::{minimize, CoreAssignment, EnergyCosts, JointAssignment};
 pub use perf::{CorePerfModel, EpochObservation, PerfModelParams};
+pub use policy::{register, DvfsPolicy};

@@ -1,13 +1,13 @@
 //! `inspect` — watches one workload group epoch by epoch: UMON miss
 //! curves (CURVES=1), UCP quotas / CP allocations, powered ways and
-//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=ucp|cp|fair|un|dvfs,
-//! EPOCHS=n (default 34), QOS_SLACK=fraction (dvfs, default 0.10).
-//! Under SCHEME=dvfs the coordinated controller drives the cooperative
-//! machinery and the per-core clock, and each epoch line adds the chosen
-//! frequencies.
-use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
-use coop_dvfs::{DvfsConfig, DvfsController};
+//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=policy-name (resolved
+//! through the harness policy registry; unknown names print the registered
+//! list), EPOCHS=n (default 34), QOS_SLACK=fraction (dvfs, default 0.10).
+//! Under SCHEME=dvfs each epoch line adds the chosen frequencies.
+use coop_core::{LlcConfig, PartitionedLlc, PolicySpec, SchemeKind};
+use coop_dvfs::DvfsPolicy;
 use cpusim::{Core, CoreConfig, LlcPort};
+use harness::policy_registry;
 use memsim::{Dram, DramConfig};
 use simkit::types::{CoreId, Cycle, LineAddr};
 use workloads::{two_core_groups, SyntheticSource};
@@ -26,24 +26,28 @@ impl LlcPort for Port<'_> {
 }
 
 fn main() {
+    let registry = policy_registry();
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: inspect\n\
              env: GROUP=G2-1..G2-14 (default G2-1)\n\
-             \x20    SCHEME=ucp|cp|fair|un|dvfs (default ucp)\n\
+             \x20    SCHEME=<policy> (default ucp; one of: {})\n\
              \x20    CURVES=1 to print per-epoch UMON miss curves\n\
              \x20    EPOCHS=n epochs to watch (default 34)\n\
-             \x20    QOS_SLACK=fraction for SCHEME=dvfs (default 0.10)"
+             \x20    QOS_SLACK=fraction for SCHEME=dvfs (default 0.10)",
+            registry.names().join(", ")
         );
         return;
     }
     let gname = std::env::var("GROUP").unwrap_or_else(|_| "G2-1".into());
-    let dvfs_mode = std::env::var("SCHEME").as_deref() == Ok("dvfs");
-    let scheme = match std::env::var("SCHEME").as_deref() {
-        Ok("cp") | Ok("dvfs") => SchemeKind::Cooperative,
-        Ok("fair") => SchemeKind::FairShare,
-        Ok("un") => SchemeKind::Unmanaged,
-        _ => SchemeKind::Ucp,
+    let requested = std::env::var("SCHEME").unwrap_or_else(|_| "ucp".into());
+    let Some(policy_name) = registry.resolve(&requested) else {
+        eprintln!("unknown policy '{requested}'; registered policies:");
+        for name in registry.names() {
+            let entry = registry.entry(name).expect("listed name resolves");
+            eprintln!("  {name:12} {}", entry.summary);
+        }
+        std::process::exit(2);
     };
     let qos_slack: f64 = std::env::var("QOS_SLACK")
         .ok()
@@ -58,7 +62,7 @@ fn main() {
         .into_iter()
         .find(|g| g.name == gname)
         .expect("group");
-    println!("{} under {:?}", group, scheme);
+    println!("{} under {}", group, policy_name);
     let mut cores: Vec<Core> = group
         .benchmarks
         .iter()
@@ -71,13 +75,34 @@ fn main() {
             )
         })
         .collect();
-    let llc_cfg = LlcConfig::two_core(scheme).with_epoch(500_000);
-    let mut llc = PartitionedLlc::new(llc_cfg, 2);
+    let legacy_scheme = registry
+        .entry(policy_name)
+        .and_then(|e| e.scheme)
+        .unwrap_or(SchemeKind::Cooperative);
+    let llc_cfg = LlcConfig::two_core(legacy_scheme).with_epoch(500_000);
+    let spec = PolicySpec::for_llc(&llc_cfg, 2).with_qos_slack(qos_slack);
+    let mut policy = registry.build(policy_name, &spec).expect("name resolved");
+    if let Some(cpe) = (policy.as_mut() as &mut dyn std::any::Any)
+        .downcast_mut::<coop_core::policy::DynamicCpePolicy>()
+    {
+        // Without a solo profile the CPE policy never repartitions; feed it
+        // the quick-scale profile so the watched epochs actually move.
+        println!("profiling solo runs for the Dynamic CPE profile...");
+        cpe.set_profile(harness::solo::cpe_profile(
+            &group.benchmarks,
+            llc_cfg,
+            harness::SimScale::quick(),
+        ));
+    }
+    let mut llc = PartitionedLlc::for_policy(llc_cfg, 2, policy.as_ref());
     let mut dram = Dram::new(DramConfig::default());
-    let mut ctl = dvfs_mode.then(|| {
+    let dvfs_mode = policy_name == "dvfs";
+    if dvfs_mode {
         println!("coordinated DVFS enabled, QoS slack {qos_slack:.2}");
-        DvfsController::new(DvfsConfig::paper_default(qos_slack), 2, llc_cfg.geom.ways())
-    });
+    }
+    let nominal_ghz = (policy.as_ref() as &dyn std::any::Any)
+        .downcast_ref::<DvfsPolicy>()
+        .map_or(2.0, |p| p.controller().config().table.nominal().freq_ghz);
     let mut now = Cycle::ZERO;
     let mut next_epoch = Cycle(500_000);
     let mut epoch = 0;
@@ -100,18 +125,16 @@ fn main() {
                     println!("e{epoch} {:8} curve: {}", b.name(), m.join(" "));
                 }
             }
-            let nominal_ghz = ctl
-                .as_ref()
-                .map_or(2.0, |c| c.config().table.nominal().freq_ghz);
+            let retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
+            let obs = llc.epoch_observations(now, retired);
+            let decision = policy.on_epoch(&obs);
+            llc.apply_decision(now, &mut dram, &decision);
             let mut ghz = vec![nominal_ghz; cores.len()];
-            if let Some(ctl) = &mut ctl {
-                if let Some(d) = ctl.drive_epoch(now, &mut cores, &mut llc, &mut dram) {
-                    for (&op, g) in d.ops.iter().zip(ghz.iter_mut()) {
-                        *g = ctl.config().table.point(op).freq_ghz;
-                    }
+            if let Some(ratios) = &decision.hints.clock_ratios {
+                for ((core, &r), g) in cores.iter_mut().zip(ratios.iter()).zip(ghz.iter_mut()) {
+                    core.set_clock_ratio(r);
+                    *g = nominal_ghz / r;
                 }
-            } else {
-                llc.on_epoch(now, &mut dram);
             }
             let ipcs: Vec<String> = cores
                 .iter()
@@ -122,7 +145,7 @@ fn main() {
                     format!("{:.2}", d as f64 / 500_000.0)
                 })
                 .collect();
-            if ctl.is_some() {
+            if dvfs_mode {
                 let ghz: Vec<String> = ghz.iter().map(|g| format!("{g:.1}")).collect();
                 println!(
                     "e{epoch} alloc={:?} on={} ghz={:?} ipc={:?}",

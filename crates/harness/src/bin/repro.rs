@@ -4,24 +4,26 @@
 //!
 //! ```text
 //! repro <experiment|all> [--scale quick|tiny|small|medium|paper] [--csv DIR]
-//!       [--slacks 0.05,0.10,0.20]
+//!       [--slacks 0.05,0.10,0.20] [--policy name[,name...]]
 //!
 //! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
-//!              fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
+//!              fig5_10 fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
 //!              all two-core four-core
 //! ```
 //!
-//! `dvfs_energy` sweeps the coordinated DVFS + partitioning subsystem's QoS
-//! slack levels (override with `--slacks`) against the Cooperative-only
-//! baseline. The scale can also be set via the `COOP_SCALE` environment
-//! variable.
+//! `--policy` restricts the Figure 5-10 sweeps to the named policies (from
+//! the harness registry; Fair Share always joins as the normalization
+//! baseline). `dvfs_energy` sweeps the coordinated DVFS + partitioning
+//! subsystem's QoS slack levels (override with `--slacks`) against the
+//! Cooperative-only baseline. The scale can also be set via the
+//! `COOP_SCALE` environment variable.
 
 use std::io::Write as _;
 
 use harness::experiments::fig11_13::ThresholdMetric;
 use harness::experiments::fig5_10::Metric;
 use harness::experiments::{self, Experiment};
-use harness::SimScale;
+use harness::{policy_registry, SimScale};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -32,6 +34,7 @@ fn main() {
     let mut scale = SimScale::from_env_or(SimScale::small());
     let mut csv_dir: Option<String> = None;
     let mut slacks: Vec<f64> = Vec::new();
+    let mut policies: Vec<&'static str> = Vec::new();
     let mut what = args[0].clone();
     let mut i = 0;
     while i < args.len() {
@@ -44,6 +47,30 @@ fn main() {
             "--csv" => {
                 i += 1;
                 csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            "--policy" => {
+                i += 1;
+                let list = args.get(i).expect("--policy needs a name list");
+                let registry = policy_registry();
+                for name in list.split(',') {
+                    match registry.resolve(name.trim()) {
+                        Some(canonical) => {
+                            if !policies.contains(&canonical) {
+                                policies.push(canonical);
+                            }
+                        }
+                        None => {
+                            eprintln!(
+                                "{}",
+                                coop_core::UnknownPolicy {
+                                    requested: name.trim().to_string(),
+                                    known: registry.names(),
+                                }
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
             }
             "--slacks" => {
                 i += 1;
@@ -67,12 +94,27 @@ fn main() {
         i += 1;
     }
 
+    // The filter only drives the standalone Figure 5-10 sweeps. Elsewhere it
+    // would either do nothing (fig11-16, tables, dvfs_energy) or *add* a
+    // second, differently-keyed sweep beside the full one that figs 14-16
+    // need anyway (two-core/all) — so ignore it loudly instead.
+    let policy_aware = matches!(
+        what.as_str(),
+        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig5_10" | "four-core"
+    );
+    if !policies.is_empty() && !policy_aware {
+        eprintln!(
+            "# note: --policy only filters fig5..fig10/fig5_10/four-core; ignored for '{what}'"
+        );
+        policies.clear();
+    }
+
     eprintln!(
         "# scale '{}': {} instrs/app, {}-cycle epochs (paper: 1B instrs, 5M-cycle epochs)",
         scale.name, scale.instrs_per_app, scale.epoch_cycles
     );
     let start = std::time::Instant::now();
-    let list = select(&what, scale, &slacks);
+    let list = select(&what, scale, &slacks, &policies);
     for e in &list {
         println!("{}", e.render());
         if let Some(dir) = &csv_dir {
@@ -82,34 +124,41 @@ fn main() {
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
 }
 
-fn select(what: &str, scale: SimScale, slacks: &[f64]) -> Vec<Experiment> {
+fn select(
+    what: &str,
+    scale: SimScale,
+    slacks: &[f64],
+    policies: &[&'static str],
+) -> Vec<Experiment> {
+    let fig = |cores: usize, metric: Metric| {
+        if policies.is_empty() {
+            experiments::fig5_10::figure(cores, metric, scale)
+        } else {
+            experiments::fig5_10::figure_for(cores, metric, scale, policies)
+        }
+    };
     match what {
         "dvfs_energy" => vec![experiments::dvfs_energy::figure(scale, slacks)],
         "table1" => vec![experiments::table1::table()],
         "table3" => vec![experiments::table3::table(scale)],
         "table4" => vec![experiments::table4::table()],
-        "fig5" => vec![experiments::fig5_10::figure(
-            2,
-            Metric::WeightedSpeedup,
-            scale,
-        )],
-        "fig6" => vec![experiments::fig5_10::figure(
-            2,
-            Metric::DynamicEnergy,
-            scale,
-        )],
-        "fig7" => vec![experiments::fig5_10::figure(2, Metric::StaticEnergy, scale)],
-        "fig8" => vec![experiments::fig5_10::figure(
-            4,
-            Metric::WeightedSpeedup,
-            scale,
-        )],
-        "fig9" => vec![experiments::fig5_10::figure(
-            4,
-            Metric::DynamicEnergy,
-            scale,
-        )],
-        "fig10" => vec![experiments::fig5_10::figure(4, Metric::StaticEnergy, scale)],
+        "fig5" => vec![fig(2, Metric::WeightedSpeedup)],
+        "fig6" => vec![fig(2, Metric::DynamicEnergy)],
+        "fig7" => vec![fig(2, Metric::StaticEnergy)],
+        "fig8" => vec![fig(4, Metric::WeightedSpeedup)],
+        "fig9" => vec![fig(4, Metric::DynamicEnergy)],
+        "fig10" => vec![fig(4, Metric::StaticEnergy)],
+        "fig5_10" => [
+            (2, Metric::WeightedSpeedup),
+            (2, Metric::DynamicEnergy),
+            (2, Metric::StaticEnergy),
+            (4, Metric::WeightedSpeedup),
+            (4, Metric::DynamicEnergy),
+            (4, Metric::StaticEnergy),
+        ]
+        .into_iter()
+        .map(|(cores, m)| fig(cores, m))
+        .collect(),
         "fig11" => vec![experiments::fig11_13::figure(
             ThresholdMetric::Performance,
             scale,
@@ -127,9 +176,9 @@ fn select(what: &str, scale: SimScale, slacks: &[f64]) -> Vec<Experiment> {
         "fig16" => vec![experiments::fig16::figure(scale)],
         "two-core" => {
             let mut v = vec![
-                experiments::fig5_10::figure(2, Metric::WeightedSpeedup, scale),
-                experiments::fig5_10::figure(2, Metric::DynamicEnergy, scale),
-                experiments::fig5_10::figure(2, Metric::StaticEnergy, scale),
+                fig(2, Metric::WeightedSpeedup),
+                fig(2, Metric::DynamicEnergy),
+                fig(2, Metric::StaticEnergy),
             ];
             v.push(experiments::fig14::figure(scale));
             v.push(experiments::fig15::figure(scale));
@@ -137,9 +186,9 @@ fn select(what: &str, scale: SimScale, slacks: &[f64]) -> Vec<Experiment> {
             v
         }
         "four-core" => vec![
-            experiments::fig5_10::figure(4, Metric::WeightedSpeedup, scale),
-            experiments::fig5_10::figure(4, Metric::DynamicEnergy, scale),
-            experiments::fig5_10::figure(4, Metric::StaticEnergy, scale),
+            fig(4, Metric::WeightedSpeedup),
+            fig(4, Metric::DynamicEnergy),
+            fig(4, Metric::StaticEnergy),
         ],
         "all" => {
             let mut v = vec![
@@ -155,7 +204,7 @@ fn select(what: &str, scale: SimScale, slacks: &[f64]) -> Vec<Experiment> {
                 (4, Metric::DynamicEnergy),
                 (4, Metric::StaticEnergy),
             ] {
-                v.push(experiments::fig5_10::figure(cores, m, scale));
+                v.push(fig(cores, m));
             }
             for m in [
                 ThresholdMetric::Performance,
@@ -189,8 +238,10 @@ fn write_csv(dir: &str, e: &Experiment) {
 fn usage() {
     eprintln!(
         "usage: repro <experiment|all|two-core|four-core> [--scale quick|tiny|small|medium|paper] [--csv DIR]\n\
-         \x20      [--slacks 0.05,0.10,0.20]\n\
-         experiments: table1 table3 table4 fig5..fig16 dvfs_energy\n\
-         dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep"
+         \x20      [--slacks 0.05,0.10,0.20] [--policy name[,name...]]\n\
+         experiments: table1 table3 table4 fig5..fig16 fig5_10 dvfs_energy\n\
+         --policy:    restrict the Figure 5-10 sweeps to these registry policies ({})\n\
+         dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep",
+        policy_registry().names().join(", ")
     );
 }

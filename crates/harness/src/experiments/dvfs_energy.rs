@@ -16,14 +16,13 @@
 //! A group is a *win* at a slack level when the coordinated run uses less
 //! total energy and no core's measured slowdown exceeds `1 + slack`.
 
-use coop_core::SchemeKind;
 use coop_dvfs::DvfsConfig;
 use simkit::geometric_mean;
 use simkit::table::Table;
 
 use crate::experiments::{parallel_for_each, Experiment};
 use crate::scale::SimScale;
-use crate::system::{RunResult, System, SystemConfig};
+use crate::system::{RunResult, System};
 use std::sync::Mutex;
 use workloads::two_core_groups;
 
@@ -51,15 +50,15 @@ pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
     let cells: Mutex<Vec<Vec<Option<RunResult>>>> =
         Mutex::new(vec![vec![None; slacks.len() + 1]; groups.len()]);
     parallel_for_each(jobs, |(g, j)| {
-        let mut cfg =
-            SystemConfig::two_core(groups[g].benchmarks.clone(), SchemeKind::Cooperative, scale);
-        if j > 0 {
-            cfg = cfg.with_dvfs(DvfsConfig {
-                qos_slack: slacks[j - 1],
-                ..template.clone()
-            });
-        }
-        let result = System::new(cfg).run();
+        let mut builder = System::builder()
+            .cores(groups[g].benchmarks.clone())
+            .scale(scale);
+        builder = if j > 0 {
+            builder.policy("dvfs").qos_slack(slacks[j - 1])
+        } else {
+            builder.policy("cooperative")
+        };
+        let result = builder.build().run();
         cells.lock().expect("cells")[g][j] = Some(result);
     });
     let runs: Vec<Vec<RunResult>> = cells

@@ -1,7 +1,7 @@
 //! Figure 14: breakdown of the events that set takeover bits while ways are
 //! being transferred (donor hit/miss, recipient hit/miss fractions).
 
-use coop_core::{SchemeKind, TakeoverEventKind};
+use coop_core::TakeoverEventKind;
 use simkit::table::Table;
 
 use crate::experiments::{cached_sweep, Experiment};
@@ -16,7 +16,7 @@ pub fn figure(scale: SimScale) -> Experiment {
 
     let mut totals = [0u64; 4];
     let mut donor_hit_plus_recipient_miss = Vec::new();
-    for (g, run) in sweep.scheme_runs(SchemeKind::Cooperative).enumerate() {
+    for (g, run) in sweep.policy_runs("cooperative").enumerate() {
         let ev = run.takeover_events;
         let total: u64 = ev.iter().sum();
         for (t, &e) in totals.iter_mut().zip(ev.iter()) {

@@ -1,10 +1,9 @@
 //! Figure 15: average cycles to transfer a way — Cooperative Partitioning's
 //! cooperative takeover vs UCP's lazy replacement-driven migration.
 
-use coop_core::SchemeKind;
 use simkit::table::Table;
 
-use crate::experiments::{cached_sweep, Experiment, Sweep};
+use crate::experiments::{cached_sweep, Experiment};
 use crate::scale::SimScale;
 
 fn mean(values: &[u64]) -> Option<f64> {
@@ -24,8 +23,8 @@ pub fn figure(scale: SimScale) -> Experiment {
         "Cooperative (cycles)".to_string(),
         "speedup".to_string(),
     ]);
-    let coop_idx = Sweep::scheme_idx(SchemeKind::Cooperative);
-    let ucp_idx = Sweep::scheme_idx(SchemeKind::Ucp);
+    let coop_idx = sweep.policy_idx("cooperative");
+    let ucp_idx = sweep.policy_idx("ucp");
     let mut all_cp = Vec::new();
     let mut all_ucp = Vec::new();
     for g in 0..sweep.groups.len() {

@@ -2,18 +2,17 @@
 //! Cooperative Partitioning's short early burst vs UCP's long steady drain —
 //! plus the total lines flushed per transition (paper: CP 5102 vs UCP 6536).
 
-use coop_core::SchemeKind;
 use simkit::table::Table;
 
-use crate::experiments::{cached_sweep, Experiment, Sweep};
+use crate::experiments::{cached_sweep, Experiment};
 use crate::scale::SimScale;
 
 /// Builds Figure 16 from the two-core sweep: the average flush time profile
 /// (lines per bucket, averaged over repartitioning decisions) and totals.
 pub fn figure(scale: SimScale) -> Experiment {
     let sweep = cached_sweep(2, scale);
-    let coop_idx = Sweep::scheme_idx(SchemeKind::Cooperative);
-    let ucp_idx = Sweep::scheme_idx(SchemeKind::Ucp);
+    let coop_idx = sweep.policy_idx("cooperative");
+    let ucp_idx = sweep.policy_idx("ucp");
 
     // Average the per-group series element-wise, weighting by decisions.
     let mut bucket = 0u64;

@@ -2,12 +2,12 @@
 //! two-core (Figs 5-7) and four-core (Figs 8-10) sweeps, all normalized to
 //! Fair Share, with the geometric-mean AVG column the paper plots.
 
-use coop_core::SchemeKind;
 use simkit::geometric_mean;
 use simkit::table::Table;
 
-use crate::experiments::{cached_sweep, Experiment, Sweep};
+use crate::experiments::{cached_sweep_for, Experiment, Sweep};
 use crate::scale::SimScale;
+use coop_core::PAPER_POLICIES;
 
 /// Which quantity a figure plots.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,18 +21,29 @@ pub enum Metric {
 }
 
 impl Metric {
-    fn of(self, sweep: &Sweep, g: usize, scheme: SchemeKind) -> f64 {
+    fn of(self, sweep: &Sweep, g: usize, policy: &str) -> f64 {
         match self {
-            Metric::WeightedSpeedup => sweep.ws_normalized(g, scheme),
-            Metric::DynamicEnergy => sweep.dynamic_normalized(g, scheme),
-            Metric::StaticEnergy => sweep.static_normalized(g, scheme),
+            Metric::WeightedSpeedup => sweep.ws_normalized(g, policy),
+            Metric::DynamicEnergy => sweep.dynamic_normalized(g, policy),
+            Metric::StaticEnergy => sweep.static_normalized(g, policy),
         }
     }
 }
 
-/// Builds one of Figures 5-10.
+/// Builds one of Figures 5-10 over the five paper policies.
 pub fn figure(cores: usize, metric: Metric, scale: SimScale) -> Experiment {
-    let sweep = cached_sweep(cores, scale);
+    figure_for(cores, metric, scale, &PAPER_POLICIES)
+}
+
+/// Builds one of Figures 5-10 over an explicit policy list (canonical
+/// registry names; Fair Share joins automatically as the baseline).
+pub fn figure_for(
+    cores: usize,
+    metric: Metric,
+    scale: SimScale,
+    policies: &[&'static str],
+) -> Experiment {
+    let sweep = cached_sweep_for(cores, scale, policies);
     let (id, title) = match (cores, metric) {
         (2, Metric::WeightedSpeedup) => {
             ("Figure 5", "Weighted speedup, two-core (norm. Fair Share)")
@@ -48,29 +59,36 @@ pub fn figure(cores: usize, metric: Metric, scale: SimScale) -> Experiment {
     };
 
     let mut headers = vec!["Group".to_string()];
-    headers.extend(SchemeKind::ALL.iter().map(|s| s.label().to_string()));
+    headers.extend((0..sweep.policies.len()).map(|i| sweep.label(i).to_string()));
     let mut table = Table::new(headers);
-    let mut per_scheme: Vec<Vec<f64>> = vec![Vec::new(); SchemeKind::ALL.len()];
+    let mut per_policy: Vec<Vec<f64>> = vec![Vec::new(); sweep.policies.len()];
     for g in 0..sweep.groups.len() {
-        let values: Vec<f64> = SchemeKind::ALL
+        let values: Vec<f64> = sweep
+            .policies
             .iter()
-            .map(|&s| metric.of(&sweep, g, s))
+            .map(|p| metric.of(&sweep, g, p))
             .collect();
-        for (acc, &v) in per_scheme.iter_mut().zip(values.iter()) {
+        for (acc, &v) in per_policy.iter_mut().zip(values.iter()) {
             acc.push(v);
         }
         table.row_f64(&sweep.groups[g].name, &values, 3);
     }
-    let avgs: Vec<f64> = per_scheme
+    let avgs: Vec<f64> = per_policy
         .iter()
         .map(|v| geometric_mean(v).unwrap_or(f64::NAN))
         .collect();
     table.row_f64("AVG", &avgs, 3);
 
-    let coop = avgs[Sweep::scheme_idx(SchemeKind::Cooperative)];
-    let ucp = avgs[Sweep::scheme_idx(SchemeKind::Ucp)];
-    let notes = match metric {
-        Metric::WeightedSpeedup => vec![
+    // Paper-comparison notes only mention the policies actually swept.
+    let avg_of = |name: &str| {
+        sweep
+            .policies
+            .iter()
+            .position(|&p| p == name)
+            .map(|i| avgs[i])
+    };
+    let notes = match (metric, avg_of("cooperative"), avg_of("ucp")) {
+        (Metric::WeightedSpeedup, Some(coop), Some(ucp)) => vec![
             format!(
                 "paper: UCP and Cooperative ~1.13-1.14 (2-core) / ~1.12-1.13 (4-core); measured UCP {ucp:.3}, Cooperative {coop:.3}"
             ),
@@ -79,19 +97,22 @@ pub fn figure(cores: usize, metric: Metric, scale: SimScale) -> Experiment {
                 (ucp - coop) / ucp * 100.0
             ),
         ],
-        Metric::DynamicEnergy => vec![
-            format!(
+        (Metric::DynamicEnergy, Some(coop), _) => {
+            let mut v = vec![format!(
                 "paper: Cooperative ~0.68 (2-core) / ~0.69 (4-core) of Fair Share; measured {coop:.3}"
-            ),
-            format!(
-                "paper: Unmanaged ~{} (probes all ways); measured {:.2}",
-                if cores == 2 { "2.0" } else { "4.0" },
-                avgs[Sweep::scheme_idx(SchemeKind::Unmanaged)]
-            ),
-        ],
-        Metric::StaticEnergy => vec![format!(
+            )];
+            if let Some(un) = avg_of("unmanaged") {
+                v.push(format!(
+                    "paper: Unmanaged ~{} (probes all ways); measured {un:.2}",
+                    if cores == 2 { "2.0" } else { "4.0" },
+                ));
+            }
+            v
+        }
+        (Metric::StaticEnergy, Some(coop), _) => vec![format!(
             "paper: Cooperative ~0.75 (2-core) / ~0.80 (4-core) of Fair Share; measured {coop:.3}; Unmanaged/UCP/FairShare stay at 1.0"
         )],
+        _ => vec![format!("policies: {}", sweep.policies.join(", "))],
     };
     Experiment {
         id: id.to_string(),

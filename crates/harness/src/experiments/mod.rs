@@ -1,10 +1,12 @@
 //! One module per paper table/figure, plus shared sweep machinery.
 //!
-//! Figures 5-7 (and 8-10) all read from the same 14-group × 5-scheme sweep,
-//! so sweeps are memoized process-wide by (core count, scale); the threshold
-//! sweep behind Figures 11-13 is cached the same way. Every experiment
-//! returns an [`Experiment`] holding a rendered table plus free-form notes
-//! comparing against the paper's reported numbers.
+//! The sweeps enumerate *policies by registry name* (see
+//! [`crate::policies::policy_registry`]): Figures 5-7 (and 8-10) all read
+//! from the same 14-group × N-policy sweep, so sweeps are memoized
+//! process-wide by (core count, scale, policy list); the threshold sweep
+//! behind Figures 11-13 is cached the same way. Every experiment returns an
+//! [`Experiment`] holding a rendered table plus free-form notes comparing
+//! against the paper's reported numbers.
 
 pub mod dvfs_energy;
 pub mod fig11_13;
@@ -20,13 +22,13 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use coop_core::{LlcConfig, SchemeKind};
+use coop_core::{LlcConfig, SchemeKind, PAPER_POLICIES};
 use simkit::table::Table;
 use workloads::{four_core_groups, two_core_groups, Benchmark, WorkloadGroup};
 
 use crate::scale::SimScale;
 use crate::solo;
-use crate::system::{RunResult, System, SystemConfig};
+use crate::system::{RunResult, System};
 
 /// A rendered experiment: table + comparison notes.
 #[derive(Debug, Clone)]
@@ -59,56 +61,62 @@ impl Experiment {
     }
 }
 
-/// All runs of one core-count sweep: `runs[group][scheme]` in
-/// [`SchemeKind::ALL`] order.
+/// All runs of one core-count sweep: `runs[group][policy]`, with policies
+/// enumerated by registry name.
 #[derive(Debug)]
 pub struct Sweep {
     /// 2 or 4.
     pub cores: usize,
+    /// Canonical policy names, in run order (the columns of `runs`).
+    pub policies: Vec<&'static str>,
     /// The Table 4 groups, in order.
     pub groups: Vec<WorkloadGroup>,
-    /// `runs[group_idx][scheme_idx]`.
+    /// `runs[group_idx][policy_idx]`.
     pub runs: Vec<Vec<RunResult>>,
     /// Solo IPCs per group (aligned with group benchmark order).
     pub ipc_alone: Vec<Vec<f64>>,
 }
 
 impl Sweep {
-    /// Index of a scheme in [`SchemeKind::ALL`].
-    pub fn scheme_idx(scheme: SchemeKind) -> usize {
-        SchemeKind::ALL
+    /// Index of a policy in this sweep.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the policy was not part of the sweep.
+    pub fn policy_idx(&self, name: &str) -> usize {
+        self.policies
             .iter()
-            .position(|&s| s == scheme)
-            .expect("scheme in ALL")
+            .position(|&p| p == name)
+            .unwrap_or_else(|| panic!("policy '{name}' not in this sweep: {:?}", self.policies))
     }
 
-    /// Weighted speedup of `(group, scheme)` normalized to Fair Share.
-    pub fn ws_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
-        let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
-            .weighted_speedup(&self.ipc_alone[g]);
-        let this = self.runs[g][Self::scheme_idx(scheme)].weighted_speedup(&self.ipc_alone[g]);
+    /// Display label of the policy at `idx`.
+    pub fn label(&self, idx: usize) -> &str {
+        &self.runs[0][idx].label
+    }
+
+    /// Weighted speedup of `(group, policy)` normalized to Fair Share.
+    pub fn ws_normalized(&self, g: usize, policy: &str) -> f64 {
+        let fair = self.runs[g][self.policy_idx("fair")].weighted_speedup(&self.ipc_alone[g]);
+        let this = self.runs[g][self.policy_idx(policy)].weighted_speedup(&self.ipc_alone[g]);
         this / fair
     }
 
     /// Dynamic energy normalized to Fair Share.
-    pub fn dynamic_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
-        let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
-            .energy
-            .dynamic_nj;
-        self.runs[g][Self::scheme_idx(scheme)].energy.dynamic_nj / fair
+    pub fn dynamic_normalized(&self, g: usize, policy: &str) -> f64 {
+        let fair = self.runs[g][self.policy_idx("fair")].energy.dynamic_nj;
+        self.runs[g][self.policy_idx(policy)].energy.dynamic_nj / fair
     }
 
     /// Static energy normalized to Fair Share.
-    pub fn static_normalized(&self, g: usize, scheme: SchemeKind) -> f64 {
-        let fair = self.runs[g][Self::scheme_idx(SchemeKind::FairShare)]
-            .energy
-            .static_nj;
-        self.runs[g][Self::scheme_idx(scheme)].energy.static_nj / fair
+    pub fn static_normalized(&self, g: usize, policy: &str) -> f64 {
+        let fair = self.runs[g][self.policy_idx("fair")].energy.static_nj;
+        self.runs[g][self.policy_idx(policy)].energy.static_nj / fair
     }
 
-    /// All runs for one scheme.
-    pub fn scheme_runs(&self, scheme: SchemeKind) -> impl Iterator<Item = &RunResult> {
-        let idx = Self::scheme_idx(scheme);
+    /// All runs for one policy.
+    pub fn policy_runs(&self, policy: &str) -> impl Iterator<Item = &RunResult> {
+        let idx = self.policy_idx(policy);
         self.runs.iter().map(move |per_group| &per_group[idx])
     }
 }
@@ -122,31 +130,28 @@ pub fn llc_for(cores: usize, scheme: SchemeKind) -> LlcConfig {
     }
 }
 
-/// Runs one (group, scheme) cell.
-pub fn run_group(group: &WorkloadGroup, scheme: SchemeKind, scale: SimScale) -> RunResult {
+/// Runs one (group, policy) cell; `policy` is a registry name.
+pub fn run_group(group: &WorkloadGroup, policy: &str, scale: SimScale) -> RunResult {
     let cores = group.cores();
-    let cfg = SystemConfig {
-        benchmarks: group.benchmarks.clone(),
-        llc: llc_for(cores, scheme).with_epoch(scale.epoch_cycles),
-        core: cpusim::CoreConfig::default(),
-        dram: memsim::DramConfig::default(),
-        scale,
-        seed: 0x5EED,
-        core_power: energy::CoreEnergyParams::for_45nm(),
-        dvfs: None,
-    };
-    let mut sys = System::new(cfg);
-    if scheme == SchemeKind::DynamicCpe {
+    let canonical = crate::policies::policy_registry()
+        .resolve(policy)
+        .unwrap_or_else(|| panic!("unknown policy '{policy}'"));
+    let mut sys = System::builder()
+        .cores(group.benchmarks.clone())
+        .policy(canonical)
+        .scale(scale)
+        .build();
+    if canonical == "cpe" {
         sys.set_cpe_profile(solo::cpe_profile(
             &group.benchmarks,
-            llc_for(cores, scheme),
+            llc_for(cores, SchemeKind::DynamicCpe),
             scale,
         ));
     }
     sys.run()
 }
 
-fn compute_sweep(cores: usize, scale: SimScale) -> Sweep {
+fn compute_sweep(cores: usize, scale: SimScale, policies: &[&'static str]) -> Sweep {
     let groups = match cores {
         2 => two_core_groups(),
         4 => four_core_groups(),
@@ -163,14 +168,14 @@ fn compute_sweep(cores: usize, scale: SimScale) -> Sweep {
         solo::solo_result(b, llc, scale);
     });
 
-    // Run every (group, scheme) cell in parallel.
+    // Run every (group, policy) cell in parallel.
     let jobs: Vec<(usize, usize)> = (0..groups.len())
-        .flat_map(|g| (0..SchemeKind::ALL.len()).map(move |s| (g, s)))
+        .flat_map(|g| (0..policies.len()).map(move |s| (g, s)))
         .collect();
     let cells: Mutex<Vec<Vec<Option<RunResult>>>> =
-        Mutex::new(vec![vec![None; SchemeKind::ALL.len()]; groups.len()]);
+        Mutex::new(vec![vec![None; policies.len()]; groups.len()]);
     parallel_for_each(jobs, |(g, s)| {
-        let result = run_group(&groups[g], SchemeKind::ALL[s], scale);
+        let result = run_group(&groups[g], policies[s], scale);
         cells.lock().expect("cells")[g][s] = Some(result);
     });
     let runs: Vec<Vec<RunResult>> = cells
@@ -186,6 +191,7 @@ fn compute_sweep(cores: usize, scale: SimScale) -> Sweep {
         .collect();
     Sweep {
         cores,
+        policies: policies.to_vec(),
         groups,
         runs,
         ipc_alone,
@@ -214,14 +220,27 @@ pub(crate) fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
     });
 }
 
-/// Cache entries for [`cached_sweep`], keyed by `(cores, scale name)`.
-type SweepCache = Mutex<Vec<((usize, &'static str), Arc<Sweep>)>>;
+/// Cache entries for [`cached_sweep_for`], keyed by
+/// `(cores, scale name, policies)`.
+type SweepKey = (usize, &'static str, Vec<&'static str>);
+type SweepCache = Mutex<Vec<(SweepKey, Arc<Sweep>)>>;
 
-/// Memoized sweep for (cores, scale).
+/// Memoized sweep for (cores, scale) over the five paper policies.
 pub fn cached_sweep(cores: usize, scale: SimScale) -> Arc<Sweep> {
+    cached_sweep_for(cores, scale, &PAPER_POLICIES)
+}
+
+/// Memoized sweep for (cores, scale) over an explicit policy list
+/// (canonical registry names; the Fair Share baseline is added when
+/// missing, since every figure normalizes to it).
+pub fn cached_sweep_for(cores: usize, scale: SimScale, policies: &[&'static str]) -> Arc<Sweep> {
     static CACHE: OnceLock<SweepCache> = OnceLock::new();
+    let mut policies = policies.to_vec();
+    if !policies.contains(&"fair") {
+        policies.insert(0, "fair");
+    }
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    let key = (cores, scale.name);
+    let key: SweepKey = (cores, scale.name, policies.clone());
     if let Some((_, hit)) = cache
         .lock()
         .expect("sweep cache")
@@ -230,7 +249,7 @@ pub fn cached_sweep(cores: usize, scale: SimScale) -> Arc<Sweep> {
     {
         return Arc::clone(hit);
     }
-    let sweep = Arc::new(compute_sweep(cores, scale));
+    let sweep = Arc::new(compute_sweep(cores, scale, &policies));
     cache
         .lock()
         .expect("sweep cache")
@@ -261,18 +280,13 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
     let cells: Mutex<Vec<Vec<Option<RunResult>>>> =
         Mutex::new(vec![vec![None; fig11_13::THRESHOLDS.len()]; groups.len()]);
     parallel_for_each(jobs, |(g, t)| {
-        let mut cfg = SystemConfig {
-            benchmarks: groups[g].benchmarks.clone(),
-            llc: llc_for(2, SchemeKind::Cooperative).with_epoch(scale.epoch_cycles),
-            core: cpusim::CoreConfig::default(),
-            dram: memsim::DramConfig::default(),
-            scale,
-            seed: 0x5EED,
-            core_power: energy::CoreEnergyParams::for_45nm(),
-            dvfs: None,
-        };
-        cfg.llc = cfg.llc.with_threshold(fig11_13::THRESHOLDS[t]);
-        let result = System::new(cfg).run();
+        let result = System::builder()
+            .cores(groups[g].benchmarks.clone())
+            .policy("cooperative")
+            .scale(scale)
+            .threshold(fig11_13::THRESHOLDS[t])
+            .build()
+            .run();
         cells.lock().expect("cells")[g][t] = Some(result);
     });
     let runs: Vec<Vec<RunResult>> = cells

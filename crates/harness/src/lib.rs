@@ -20,9 +20,11 @@
 
 pub mod experiments;
 pub mod metrics;
+pub mod policies;
 pub mod scale;
 pub mod solo;
 pub mod system;
 
+pub use policies::policy_registry;
 pub use scale::SimScale;
-pub use system::{RunResult, System, SystemConfig};
+pub use system::{RunResult, System, SystemBuilder, SystemConfig};

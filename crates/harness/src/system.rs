@@ -1,8 +1,29 @@
 //! The full simulated system: cores + L1s + partitioned LLC + DRAM.
+//!
+//! Assemble one with [`System::builder`]:
+//!
+//! ```ignore
+//! let r = System::builder()
+//!     .cores(vec![Benchmark::Lbm, Benchmark::Namd])
+//!     .policy("cooperative")
+//!     .scale(SimScale::quick())
+//!     .build()
+//!     .run();
+//! ```
+//!
+//! The policy name resolves through the harness [`crate::policies`]
+//! registry (the five paper schemes plus `"dvfs"`); the LLC is built as a
+//! pure enforcement mechanism matching the policy's descriptor, and the
+//! system loop feeds the policy [`coop_core::EpochObservations`] each
+//! epoch and
+//! applies its decisions — way targets through the LLC, clock hints through
+//! the cores. The pre-redesign [`SystemConfig`] constructors remain as thin
+//! shims over the builder for the seed integration suites.
 
 use coop_core::cpe::CpeProfile;
-use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
-use coop_dvfs::{DvfsConfig, DvfsController, Residency};
+use coop_core::policy::{DynamicCpePolicy, PartitionPolicy};
+use coop_core::{policy_for_scheme, LlcConfig, PartitionedLlc, PolicySpec, SchemeKind};
+use coop_dvfs::{DvfsConfig, DvfsPolicy, Residency};
 use cpusim::{Core, CoreConfig, LlcPort};
 use energy::{CoreEnergyParams, CoreEnergyReport, EnergyCounts, EnergyParams, EnergyReport};
 use memsim::{Dram, DramConfig};
@@ -12,12 +33,13 @@ use workloads::{Benchmark, SyntheticSource};
 
 use crate::scale::SimScale;
 
-/// Configuration of a whole simulated system run.
+/// Configuration of a whole simulated system run (legacy shape; prefer
+/// [`System::builder`], which resolves policies by registry name).
 #[derive(Debug, Clone)]
 pub struct SystemConfig {
     /// The benchmarks to run, one per core.
     pub benchmarks: Vec<Benchmark>,
-    /// Partitioning scheme and LLC parameters.
+    /// LLC parameters (plus the legacy scheme selector).
     pub llc: LlcConfig,
     /// Core microarchitecture.
     pub core: CoreConfig,
@@ -32,19 +54,16 @@ pub struct SystemConfig {
     /// the controller's costs so baseline and coordinated runs always
     /// evaluate core energy from the same source.
     pub core_power: CoreEnergyParams,
-    /// Coordinated DVFS + partitioning (requires the Cooperative scheme):
-    /// the epoch controller replaces the LLC's internal look-ahead decision
-    /// and drives per-core frequencies.
+    /// Coordinated DVFS + partitioning (legacy knob; the builder's
+    /// `.policy("dvfs")` replaces it).
     pub dvfs: Option<DvfsConfig>,
 }
 
 impl SystemConfig {
-    /// Paper two-core system for a benchmark pair.
-    pub fn two_core(benchmarks: Vec<Benchmark>, scheme: SchemeKind, scale: SimScale) -> Self {
-        assert_eq!(benchmarks.len(), 2);
+    fn base(benchmarks: Vec<Benchmark>, llc: LlcConfig, scale: SimScale) -> Self {
         SystemConfig {
             benchmarks,
-            llc: LlcConfig::two_core(scheme).with_epoch(scale.epoch_cycles),
+            llc: llc.with_epoch(scale.epoch_cycles),
             core: CoreConfig::default(),
             dram: DramConfig::default(),
             scale,
@@ -54,41 +73,30 @@ impl SystemConfig {
         }
     }
 
-    /// Paper four-core system for a benchmark quartet.
+    /// Paper two-core system for a benchmark pair (legacy shim).
+    pub fn two_core(benchmarks: Vec<Benchmark>, scheme: SchemeKind, scale: SimScale) -> Self {
+        assert_eq!(benchmarks.len(), 2);
+        SystemConfig::base(benchmarks, LlcConfig::two_core(scheme), scale)
+    }
+
+    /// Paper four-core system for a benchmark quartet (legacy shim).
     pub fn four_core(benchmarks: Vec<Benchmark>, scheme: SchemeKind, scale: SimScale) -> Self {
         assert_eq!(benchmarks.len(), 4);
-        SystemConfig {
-            benchmarks,
-            llc: LlcConfig::four_core(scheme).with_epoch(scale.epoch_cycles),
-            core: CoreConfig::default(),
-            dram: DramConfig::default(),
-            scale,
-            seed: 0x5EED,
-            core_power: CoreEnergyParams::for_45nm(),
-            dvfs: None,
-        }
+        SystemConfig::base(benchmarks, LlcConfig::four_core(scheme), scale)
     }
 
     /// Single benchmark alone in the full cache (for baselines/profiles).
     /// Runs under UCP so the utility monitor stays active (with one core the
     /// allocation is the whole cache, identical to an unmanaged run).
     pub fn solo(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Self {
-        let mut llc = llc.with_epoch(scale.epoch_cycles);
+        let mut llc = llc;
         llc.scheme = SchemeKind::Ucp;
-        SystemConfig {
-            benchmarks: vec![benchmark],
-            llc,
-            core: CoreConfig::default(),
-            dram: DramConfig::default(),
-            scale,
-            seed: 0x5EED,
-            core_power: CoreEnergyParams::for_45nm(),
-            dvfs: None,
-        }
+        SystemConfig::base(vec![benchmark], llc, scale)
     }
 
-    /// Enables coordinated DVFS + partitioning (Cooperative scheme only).
-    /// The controller's core-energy magnitudes become this config's
+    /// Enables coordinated DVFS + partitioning (legacy shim for the
+    /// builder's `.policy("dvfs")`; requires the Cooperative scheme). The
+    /// controller's core-energy magnitudes become this config's
     /// `core_power`, keeping baseline and DVFS accounting comparable.
     pub fn with_dvfs(mut self, dvfs: DvfsConfig) -> Self {
         assert_eq!(
@@ -102,12 +110,171 @@ impl SystemConfig {
     }
 }
 
+/// Builder for a [`System`]: benchmarks in, policy by registry name,
+/// everything else defaulted to the paper's configuration.
+#[derive(Debug, Clone)]
+pub struct SystemBuilder {
+    benchmarks: Vec<Benchmark>,
+    policy: String,
+    scale: SimScale,
+    llc: Option<LlcConfig>,
+    threshold: Option<f64>,
+    qos_slack: f64,
+    seed: u64,
+    core: CoreConfig,
+    dram: DramConfig,
+    core_power: Option<CoreEnergyParams>,
+}
+
+impl Default for SystemBuilder {
+    fn default() -> SystemBuilder {
+        SystemBuilder {
+            benchmarks: Vec::new(),
+            policy: "cooperative".to_string(),
+            scale: SimScale::small(),
+            llc: None,
+            threshold: None,
+            qos_slack: 0.10,
+            seed: 0x5EED,
+            core: CoreConfig::default(),
+            dram: DramConfig::default(),
+            core_power: None,
+        }
+    }
+}
+
+impl SystemBuilder {
+    /// One benchmark per core (required).
+    pub fn cores(mut self, benchmarks: Vec<Benchmark>) -> Self {
+        self.benchmarks = benchmarks;
+        self
+    }
+
+    /// Policy by registry name or alias (default `"cooperative"`); see
+    /// [`crate::policies::policy_registry`] for the names.
+    pub fn policy(mut self, name: impl Into<String>) -> Self {
+        self.policy = name.into();
+        self
+    }
+
+    /// Simulation scale (default [`SimScale::small`]).
+    pub fn scale(mut self, scale: SimScale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Explicit LLC configuration (default: the paper geometry for the
+    /// core count). The epoch length is always taken from the scale.
+    pub fn llc(mut self, llc: LlcConfig) -> Self {
+        self.llc = Some(llc);
+        self
+    }
+
+    /// Takeover threshold override (Figures 11-13 sweep it).
+    pub fn threshold(mut self, t: f64) -> Self {
+        self.threshold = Some(t);
+        self
+    }
+
+    /// QoS slack for performance-trading policies (default 0.10).
+    pub fn qos_slack(mut self, slack: f64) -> Self {
+        self.qos_slack = slack;
+        self
+    }
+
+    /// Root seed (default 0x5EED).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Core microarchitecture override.
+    pub fn core_config(mut self, core: CoreConfig) -> Self {
+        self.core = core;
+        self
+    }
+
+    /// Memory-system override.
+    pub fn dram(mut self, dram: DramConfig) -> Self {
+        self.dram = dram;
+        self
+    }
+
+    /// Core-energy magnitude override for the accounting path.
+    pub fn core_power(mut self, params: CoreEnergyParams) -> Self {
+        self.core_power = Some(params);
+        self
+    }
+
+    /// Builds the system, or reports an unknown policy name (the error
+    /// lists every registered policy).
+    pub fn try_build(self) -> Result<System, coop_core::UnknownPolicy> {
+        let n = self.benchmarks.len();
+        assert!(n >= 1, "SystemBuilder::cores was not called");
+        let registry = crate::policies::policy_registry();
+        let canonical = registry
+            .resolve(&self.policy)
+            .ok_or_else(|| coop_core::UnknownPolicy {
+                requested: self.policy.clone(),
+                known: registry.names(),
+            })?;
+        // The legacy scheme field keeps labeling paths coherent for the
+        // five paper policies; the mechanism itself never reads it.
+        let scheme = registry
+            .entry(canonical)
+            .and_then(|e| e.scheme)
+            .unwrap_or(SchemeKind::Cooperative);
+        let mut llc = self
+            .llc
+            .unwrap_or_else(|| LlcConfig::for_cores(n, scheme))
+            .with_epoch(self.scale.epoch_cycles);
+        llc.scheme = scheme;
+        if let Some(t) = self.threshold {
+            llc = llc.with_threshold(t);
+        }
+        let spec = PolicySpec::for_llc(&llc, n).with_qos_slack(self.qos_slack);
+        let policy = registry.build(canonical, &spec).expect("name resolved");
+        // DVFS runs evaluate core energy from the controller's magnitudes;
+        // everything else uses the 45 nm defaults unless overridden.
+        let core_power = self.core_power.unwrap_or_else(|| {
+            if canonical == "dvfs" {
+                DvfsConfig::paper_default(self.qos_slack).costs.core
+            } else {
+                CoreEnergyParams::for_45nm()
+            }
+        });
+        let cfg = SystemConfig {
+            benchmarks: self.benchmarks,
+            llc,
+            core: self.core,
+            dram: self.dram,
+            scale: self.scale,
+            seed: self.seed,
+            core_power,
+            dvfs: None,
+        };
+        Ok(System::assemble(cfg, policy))
+    }
+
+    /// Builds the system.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an unknown policy name; use
+    /// [`SystemBuilder::try_build`] to handle that gracefully.
+    pub fn build(self) -> System {
+        self.try_build().unwrap_or_else(|e| panic!("{e}"))
+    }
+}
+
 /// Everything measured in one run (within the measurement window, i.e.
 /// after warm-up).
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct RunResult {
-    /// Scheme that produced the run.
-    pub scheme: SchemeKind,
+    /// Canonical name of the policy that produced the run (registry key).
+    pub policy: String,
+    /// Human label of the policy (paper legend).
+    pub label: String,
     /// Per-core IPC over each core's own measurement window.
     pub ipc: Vec<f64>,
     /// Per-core LLC misses per kilo-instruction.
@@ -183,7 +350,8 @@ pub struct System {
     llc: PartitionedLlc,
     dram: Dram,
     now: Cycle,
-    dvfs: Option<DvfsController>,
+    /// The allocation policy driving the epochs.
+    policy: Box<dyn PartitionPolicy>,
     /// Sum of per-core way targets over measured epochs + the epoch count
     /// (for `RunResult::avg_ways_owned`).
     way_occupancy: (Vec<u64>, u64),
@@ -205,9 +373,37 @@ impl LlcPort for SharedMem<'_> {
 }
 
 impl System {
-    /// Builds the system: one core + source per benchmark, the shared LLC
-    /// and DRAM.
+    /// A fresh [`SystemBuilder`].
+    pub fn builder() -> SystemBuilder {
+        SystemBuilder::default()
+    }
+
+    /// Builds the system from a legacy [`SystemConfig`]: the scheme (or
+    /// `dvfs` option) maps onto the matching [`PartitionPolicy`] object.
+    /// New code uses [`System::builder`].
     pub fn new(cfg: SystemConfig) -> System {
+        let n = cfg.benchmarks.len();
+        let policy: Box<dyn PartitionPolicy> = match &cfg.dvfs {
+            Some(d) => {
+                assert_eq!(
+                    cfg.llc.scheme,
+                    SchemeKind::Cooperative,
+                    "DVFS coordination requires the Cooperative scheme"
+                );
+                Box::new(DvfsPolicy::new(
+                    d.clone(),
+                    n,
+                    cfg.llc.geom.ways(),
+                    cfg.llc.threshold,
+                ))
+            }
+            None => policy_for_scheme(cfg.llc.scheme, &cfg.llc),
+        };
+        System::assemble(cfg, policy)
+    }
+
+    /// Assembles cores, the enforcement mechanism and DRAM around `policy`.
+    fn assemble(cfg: SystemConfig, policy: Box<dyn PartitionPolicy>) -> System {
         let n = cfg.benchmarks.len();
         let cores = cfg
             .benchmarks
@@ -218,36 +414,38 @@ impl System {
                 Core::new(CoreId(i as u8), cfg.core, Box::new(source))
             })
             .collect();
-        let dvfs = cfg.dvfs.as_ref().map(|d| {
-            assert_eq!(
-                cfg.llc.scheme,
-                SchemeKind::Cooperative,
-                "DVFS coordination requires the Cooperative scheme"
-            );
-            DvfsController::new(d.clone(), n, cfg.llc.geom.ways())
-        });
         System {
             cores,
-            llc: PartitionedLlc::new(cfg.llc, n),
+            llc: PartitionedLlc::for_policy(cfg.llc, n, policy.as_ref()),
             dram: Dram::new(cfg.dram),
             now: Cycle::ZERO,
-            dvfs,
+            policy,
             way_occupancy: (vec![0; n], 0),
             measuring: false,
             cfg,
         }
     }
 
-    /// Cumulative per-core LLC misses (for the DVFS controller's deltas).
+    /// Cumulative per-core LLC misses (for per-epoch observations).
     fn llc_misses(&self) -> Vec<u64> {
         (0..self.cores.len())
             .map(|i| self.llc.stats().per_core[i].misses.get())
             .collect()
     }
 
-    /// Installs the Dynamic CPE solo profile (no-op for other schemes).
+    /// The policy as the concrete DVFS type, when it is one (residency
+    /// accounting needs the controller's books).
+    fn dvfs_mut(&mut self) -> Option<&mut DvfsPolicy> {
+        (self.policy.as_mut() as &mut dyn std::any::Any).downcast_mut::<DvfsPolicy>()
+    }
+
+    /// Installs the Dynamic CPE solo profile (no-op for other policies).
     pub fn set_cpe_profile(&mut self, profile: CpeProfile) {
-        self.llc.set_cpe_profile(profile);
+        if let Some(p) =
+            (self.policy.as_mut() as &mut dyn std::any::Any).downcast_mut::<DynamicCpePolicy>()
+        {
+            p.set_profile(profile);
+        }
     }
 
     /// Runs warm-up + measurement and returns the results.
@@ -260,10 +458,7 @@ impl System {
     pub fn run(mut self) -> RunResult {
         let n = self.cores.len();
         let scale = self.cfg.scale;
-        let uses_umon = matches!(
-            self.cfg.llc.scheme,
-            SchemeKind::Ucp | SchemeKind::Cooperative
-        );
+        let uses_umon = self.policy.uses_umon();
 
         // ---- Warm-up ----------------------------------------------------
         let mut next_epoch = Cycle(self.cfg.llc.epoch_cycles);
@@ -281,7 +476,8 @@ impl System {
         // residency window starts exactly here.
         let base_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
         let base_misses = self.llc_misses();
-        let dvfs_books_base: Option<Residency> = self.dvfs.as_mut().map(|ctl| {
+        let dvfs_books_base: Option<Residency> = self.dvfs_mut().map(|p| {
+            let ctl = p.controller_mut();
             ctl.settle(window_start, &base_retired, &base_misses);
             ctl.books().clone()
         });
@@ -334,52 +530,56 @@ impl System {
         // ---- Core-side energy and frequency residency -------------------
         let final_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
         let final_misses = self.llc_misses();
-        let (core_energy, avg_freq_ghz, freq_residency) =
-            match (self.dvfs.as_mut(), dvfs_books_base) {
-                (Some(ctl), Some(base)) => {
-                    ctl.settle(end, &final_retired, &final_misses);
-                    let window = ctl.books().since(&base);
-                    let fractions: Vec<Vec<f64>> = window
-                        .ref_cycles
-                        .iter()
-                        .map(|row| {
-                            let total: u64 = row.iter().sum();
-                            if total == 0 {
-                                let mut v = vec![0.0; row.len()];
-                                v[0] = 1.0;
-                                v
-                            } else {
-                                row.iter().map(|&r| r as f64 / total as f64).collect()
-                            }
-                        })
-                        .collect();
-                    (
-                        ctl.core_energy(&window),
-                        ctl.avg_freq_ghz(&window),
-                        fractions,
-                    )
-                }
-                _ => {
-                    // Every core at nominal V/f for the whole window.
-                    let p = self.cfg.core_power;
-                    let window_ns = (end - window_start) as f64 / params.clock_ghz;
-                    let dynamic_nj: f64 = (0..n)
-                        .map(|i| {
-                            (final_retired[i] - base_retired[i]) as f64
-                                * p.dynamic_nj_per_instr(p.vdd_nom)
-                        })
-                        .sum();
-                    let static_nj = p.static_nj(p.vdd_nom, window_ns) * n as f64;
-                    (
-                        CoreEnergyReport {
-                            dynamic_nj,
-                            static_nj,
-                        },
-                        vec![params.clock_ghz; n],
-                        vec![vec![1.0]; n],
-                    )
-                }
-            };
+        let dvfs_window = dvfs_books_base.map(|base| {
+            let ctl = self
+                .dvfs_mut()
+                .expect("the window-start books came from a DVFS policy")
+                .controller_mut();
+            ctl.settle(end, &final_retired, &final_misses);
+            let window = ctl.books().since(&base);
+            let fractions: Vec<Vec<f64>> = window
+                .ref_cycles
+                .iter()
+                .map(|row| {
+                    let total: u64 = row.iter().sum();
+                    if total == 0 {
+                        let mut v = vec![0.0; row.len()];
+                        v[0] = 1.0;
+                        v
+                    } else {
+                        row.iter().map(|&r| r as f64 / total as f64).collect()
+                    }
+                })
+                .collect();
+            (
+                ctl.core_energy(&window),
+                ctl.avg_freq_ghz(&window),
+                fractions,
+            )
+        });
+        let (core_energy, avg_freq_ghz, freq_residency) = match dvfs_window {
+            Some(report) => report,
+            None => {
+                // Every core at nominal V/f for the whole window.
+                let p = self.cfg.core_power;
+                let window_ns = (end - window_start) as f64 / params.clock_ghz;
+                let dynamic_nj: f64 = (0..n)
+                    .map(|i| {
+                        (final_retired[i] - base_retired[i]) as f64
+                            * p.dynamic_nj_per_instr(p.vdd_nom)
+                    })
+                    .sum();
+                let static_nj = p.static_nj(p.vdd_nom, window_ns) * n as f64;
+                (
+                    CoreEnergyReport {
+                        dynamic_nj,
+                        static_nj,
+                    },
+                    vec![params.clock_ghz; n],
+                    vec![vec![1.0]; n],
+                )
+            }
+        };
         let avg_ways_owned: Vec<f64> = {
             let (sums, epochs) = &self.way_occupancy;
             if *epochs == 0 {
@@ -394,7 +594,8 @@ impl System {
         };
 
         RunResult {
-            scheme: self.cfg.llc.scheme,
+            policy: self.policy.name().to_string(),
+            label: self.policy.label().to_string(),
             ipc,
             mpki,
             apki,
@@ -439,14 +640,17 @@ impl System {
             if snapshot_curves {
                 epoch_curves.push(self.llc.umon_curve(CoreId(0)));
             }
-            // Coordinated decision: the controller's minimizer picks the
-            // joint (frequency, ways) assignment; the LLC's cooperative
-            // takeover machinery enforces the way targets.
-            match self.dvfs.as_mut() {
-                Some(ctl) => {
-                    ctl.drive_epoch(self.now, &mut self.cores, &mut self.llc, &mut self.dram);
+            // Policy decision over this epoch's observations; the LLC's
+            // enforcement mode applies the way targets, and any clock hints
+            // reach the cores.
+            let retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
+            let obs = self.llc.epoch_observations(self.now, retired);
+            let decision = self.policy.on_epoch(&obs);
+            self.llc.apply_decision(self.now, &mut self.dram, &decision);
+            if let Some(ratios) = &decision.hints.clock_ratios {
+                for (core, &r) in self.cores.iter_mut().zip(ratios.iter()) {
+                    core.set_clock_ratio(r);
                 }
-                None => self.llc.on_epoch(self.now, &mut self.dram),
             }
             if self.measuring {
                 let alloc = self.llc.current_allocation();

@@ -1,0 +1,144 @@
+//! Equivalence guard for the policy/mechanism redesign.
+//!
+//! The golden values below were captured from the *pre-redesign* code
+//! (commit `8c64b33`, where `PartitionedLlc` matched on `SchemeKind` in its
+//! victim/epoch paths and the harness drove `llc.on_epoch` directly) by
+//! running group G2-1 at the `quick` scale. The trait-dispatched path —
+//! registry-built `PartitionPolicy` objects feeding
+//! `PartitionedLlc::apply_decision` through the `SystemBuilder` — must
+//! reproduce them *bit-identically*: every count as an exact integer, every
+//! IPC/energy figure as an exact IEEE-754 double. Any drift means the
+//! redesign changed behavior, not just structure.
+
+use harness::experiments::run_group;
+use harness::SimScale;
+use workloads::two_core_groups;
+
+struct Golden {
+    policy: &'static str,
+    ipc: [f64; 2],
+    mpki: [f64; 2],
+    /// (tag_way_probes, data_reads, data_writes, umon_probes,
+    /// vector_accesses, on_way_cycles, gated_way_cycles, total_cycles).
+    counts: [u64; 8],
+    /// (dynamic_nj, data_nj, static_nj).
+    energy: [f64; 3],
+    /// (core dynamic_nj, core static_nj).
+    core_energy: [f64; 2],
+    cycles: u64,
+    avg_ways: f64,
+    flush_lines: u64,
+    repartitions: u64,
+    takeover_events: [u64; 4],
+}
+
+const GOLDENS: [Golden; 5] = [
+    Golden {
+        policy: "unmanaged",
+        ipc: [0.31446507917706584, 1.485567709700262],
+        mpki: [29.326666666666668, 1.88],
+        counts: [248744, 13965, 17071, 0, 0, 7632008, 0, 954001],
+        energy: [2736.1839999999997, 12305.81, 143473.20255103998],
+        core_energy: [1906684.0, 477000.5],
+        cycles: 954001,
+        avg_ways: 8.0,
+        flush_lines: 0,
+        repartitions: 0,
+        takeover_events: [0, 0, 0, 0],
+    },
+    Golden {
+        policy: "fair",
+        ipc: [0.30639789443366944, 1.4904166211261587],
+        mpki: [30.096666666666668, 1.88],
+        counts: [125300, 13923, 17286, 0, 0, 7832952, 0, 979119],
+        energy: [1378.3, 12378.0, 147250.72469375998],
+        core_energy: [1955762.0, 489559.5],
+        cycles: 979119,
+        avg_ways: 4.0,
+        flush_lines: 0,
+        repartitions: 0,
+        takeover_events: [0, 0, 0, 0],
+    },
+    Golden {
+        policy: "cpe",
+        ipc: [0.3010926652823095, 1.4544326258326628],
+        mpki: [30.793333333333333, 2.7466666666666666],
+        counts: [97329, 13167, 17341, 0, 0, 4864797, 3106171, 996371],
+        energy: [1070.619, 12113.27, 93345.75988159998],
+        core_energy: [1832864.0, 498185.5],
+        cycles: 996371,
+        avg_ways: 3.0176062069339697,
+        flush_lines: 0,
+        repartitions: 4,
+        takeover_events: [0, 0, 0, 0],
+    },
+    Golden {
+        policy: "ucp",
+        ipc: [0.31476037292808984, 1.4865762167626335],
+        mpki: [29.256666666666668, 1.8766666666666667],
+        counts: [248744, 13984, 17075, 1584, 0, 7624848, 0, 953106],
+        energy: [2739.352, 12314.67, 143338.60257023998],
+        core_energy: [1906636.0, 476553.0],
+        cycles: 953106,
+        avg_ways: 8.0,
+        flush_lines: 42,
+        repartitions: 4,
+        takeover_events: [0, 0, 0, 0],
+    },
+    Golden {
+        policy: "cooperative",
+        ipc: [0.25937511347661213, 1.0998922105633648],
+        mpki: [34.77, 6.126666666666667],
+        counts: [97802, 11066, 18701, 1530, 3835, 6779756, 2473252, 1156626],
+        energy: [1080.7994999999999, 11872.49, 128959.11817215997],
+        core_energy: [1718175.0, 578313.0],
+        cycles: 1156626,
+        avg_ways: 3.1676251966795075,
+        flush_lines: 946,
+        repartitions: 16,
+        takeover_events: [959, 567, 4210, 2897],
+    },
+];
+
+#[test]
+fn trait_dispatch_reproduces_pre_redesign_goldens_bit_identically() {
+    let group = &two_core_groups()[0];
+    assert_eq!(group.name, "G2-1", "goldens were captured on G2-1");
+    for golden in &GOLDENS {
+        let r = run_group(group, golden.policy, SimScale::quick());
+        let p = golden.policy;
+        assert_eq!(r.policy, p);
+        assert_eq!(r.ipc, golden.ipc.to_vec(), "{p}: ipc");
+        assert_eq!(r.mpki, golden.mpki.to_vec(), "{p}: mpki");
+        let c = &r.counts;
+        let measured = [
+            c.tag_way_probes,
+            c.data_reads,
+            c.data_writes,
+            c.umon_probes,
+            c.vector_accesses,
+            c.on_way_cycles,
+            c.gated_way_cycles,
+            c.total_cycles,
+        ];
+        assert_eq!(measured, golden.counts, "{p}: energy-event counts");
+        assert_eq!(
+            [r.energy.dynamic_nj, r.energy.data_nj, r.energy.static_nj],
+            golden.energy,
+            "{p}: LLC energy"
+        );
+        assert_eq!(
+            [r.core_energy.dynamic_nj, r.core_energy.static_nj],
+            golden.core_energy,
+            "{p}: core energy"
+        );
+        assert_eq!(r.cycles, golden.cycles, "{p}: window cycles");
+        assert_eq!(r.avg_ways, golden.avg_ways, "{p}: avg ways consulted");
+        assert_eq!(r.flush_lines, golden.flush_lines, "{p}: flush lines");
+        assert_eq!(r.repartitions, golden.repartitions, "{p}: repartitions");
+        assert_eq!(
+            r.takeover_events, golden.takeover_events,
+            "{p}: takeover events"
+        );
+    }
+}

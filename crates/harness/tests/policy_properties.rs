@@ -1,0 +1,105 @@
+//! Property test over the whole policy registry (vendored proptest): any
+//! registered policy's decision is *feasible* across random miss curves and
+//! counter histories —
+//!
+//! * way targets cover every core and never oversubscribe the cache;
+//! * under way-aligned enforcement every core keeps at least one way (the
+//!   probe path requires a non-empty read mask);
+//! * clock hints, when present, are valid dilation ratios (`>= 1`, one per
+//!   core).
+
+use coop_core::policy::EpochObservations;
+use coop_core::{MissCurve, PolicySpec};
+use harness::policy_registry;
+use proptest::prelude::*;
+use simkit::types::Cycle;
+
+const TOTAL_WAYS: usize = 8;
+
+/// Strategy: one core's non-increasing miss curve over [`TOTAL_WAYS`] ways.
+fn miss_curve() -> impl Strategy<Value = MissCurve> {
+    proptest::collection::vec(0.0f64..50_000.0, TOTAL_WAYS).prop_map(|drops| {
+        let mut values = Vec::with_capacity(TOTAL_WAYS + 1);
+        let mut current: f64 = drops.iter().sum::<f64>() + 1.0;
+        values.push(current);
+        for d in drops {
+            current = (current - d).max(0.0);
+            values.push(current);
+        }
+        MissCurve::new(values.clone(), values[0] + 10.0)
+    })
+}
+
+/// Strategy: per-epoch activity for `cores` cores — miss curves plus the
+/// retired-instruction and miss increments the cumulative counters grow by.
+fn epoch_activity(cores: usize) -> impl Strategy<Value = Vec<(MissCurve, u64, u64)>> {
+    proptest::collection::vec((miss_curve(), 1_000u64..500_000, 0u64..50_000), cores)
+}
+
+proptest! {
+    #[test]
+    fn every_registered_policy_decides_feasibly(
+        cores in 2usize..5,
+        epochs in proptest::collection::vec(epoch_activity(4), 3),
+        qos_slack in 0.0f64..0.5,
+        threshold in 0.0f64..0.3,
+    ) {
+        let registry = policy_registry();
+        for name in registry.names() {
+            let spec = PolicySpec {
+                cores,
+                total_ways: TOTAL_WAYS,
+                threshold,
+                cpe_slack: 0.05,
+                qos_slack,
+            };
+            let mut policy = registry.build(name, &spec).expect("registered");
+            let way_aligned = policy.enforcement().is_way_aligned();
+            let mut cur_ways = vec![TOTAL_WAYS / cores; cores];
+            let mut retired = vec![0u64; cores];
+            let mut misses = vec![0u64; cores];
+            for (e, activity) in epochs.iter().enumerate() {
+                for (c, (_, d_retired, d_misses)) in activity.iter().take(cores).enumerate() {
+                    retired[c] += d_retired;
+                    misses[c] += d_misses;
+                }
+                let obs = EpochObservations {
+                    now: Cycle((e as u64 + 1) * 500_000),
+                    epoch_index: e as u64,
+                    total_ways: TOTAL_WAYS,
+                    curves: activity.iter().take(cores).map(|(c, _, _)| c.clone()).collect(),
+                    cur_ways: cur_ways.clone(),
+                    misses: misses.clone(),
+                    retired: retired.clone(),
+                };
+                let decision = policy.on_epoch(&obs);
+                if let Some(alloc) = &decision.allocation {
+                    prop_assert_eq!(alloc.ways.len(), cores, "{}: one target per core", name);
+                    let assigned: usize = alloc.ways.iter().sum();
+                    prop_assert!(
+                        assigned <= TOTAL_WAYS,
+                        "{}: oversubscribed ({:?})", name, alloc.ways
+                    );
+                    prop_assert!(
+                        assigned + alloc.unallocated <= TOTAL_WAYS,
+                        "{}: unallocated bookkeeping exceeds the cache ({:?})", name, alloc
+                    );
+                    if way_aligned {
+                        prop_assert!(
+                            alloc.ways.iter().all(|&w| w >= 1),
+                            "{}: zero-way core under way alignment ({:?})", name, alloc.ways
+                        );
+                    }
+                    cur_ways.clone_from(&alloc.ways);
+                }
+                if let Some(ratios) = &decision.hints.clock_ratios {
+                    prop_assert_eq!(ratios.len(), cores, "{}: one ratio per core", name);
+                    prop_assert!(
+                        ratios.iter().all(|&r| r >= 1.0 && r.is_finite()),
+                        "{}: invalid clock dilation {:?}", name, ratios
+                    );
+                }
+            }
+        }
+    }
+}

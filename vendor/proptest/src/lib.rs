@@ -142,7 +142,7 @@ pub mod collection {
     use rand::Rng;
     use std::ops::Range;
 
-    /// Length specification for [`vec`]: an exact `usize` or a `Range`.
+    /// Length specification for [`vec()`]: an exact `usize` or a `Range`.
     #[derive(Clone, Debug)]
     pub struct SizeRange {
         lo: usize,
