@@ -28,4 +28,4 @@ pub mod trace;
 pub use bpred::{BranchStats, Gshare};
 pub use clock::{CoreClock, OperatingPoint, VfTable};
 pub use core::{Core, CoreConfig, CoreStats, LlcPort, StepOutcome};
-pub use trace::{Instr, InstrKind, InstrSource};
+pub use trace::{Instr, InstrKind, InstrSource, TraceError, TraceSource};

@@ -1,16 +1,18 @@
-//! `inspect` — watches one workload group epoch by epoch: UMON miss
-//! curves (CURVES=1), UCP quotas / CP allocations, powered ways and
-//! per-core IPC. Env: GROUP=G2-1..G2-14, SCHEME=policy-name (resolved
-//! through the harness policy registry; unknown names print the registered
-//! list), EPOCHS=n (default 34), QOS_SLACK=fraction (dvfs, default 0.10).
-//! Under SCHEME=dvfs each epoch line adds the chosen frequencies.
+//! `inspect` — watches one workload epoch by epoch: UMON miss curves
+//! (CURVES=1), UCP quotas / CP allocations, powered ways and per-core
+//! IPC. Env: WORKLOAD=spec (any workload-registry spec — a named group
+//! like G2-1, an ad-hoc mix like `soplex,namd`, or `trace:path.ctrace`;
+//! GROUP= is accepted as a legacy alias), SCHEME=policy-name (resolved
+//! through the harness policy registry), EPOCHS=n (default 34),
+//! QOS_SLACK=fraction (dvfs, default 0.10). Unknown workload or policy
+//! names print the registered lists and exit non-zero. Under SCHEME=dvfs
+//! each epoch line adds the chosen frequencies.
 use coop_core::{LlcConfig, PartitionedLlc, PolicySpec, SchemeKind};
 use coop_dvfs::DvfsPolicy;
 use cpusim::{Core, CoreConfig, LlcPort};
-use harness::policy_registry;
+use harness::{policy_registry, workload_registry};
 use memsim::{Dram, DramConfig};
 use simkit::types::{CoreId, Cycle, LineAddr};
-use workloads::{two_core_groups, SyntheticSource};
 
 struct Port<'a> {
     llc: &'a mut PartitionedLlc,
@@ -30,7 +32,8 @@ fn main() {
     if std::env::args().any(|a| a == "--help" || a == "-h") {
         eprintln!(
             "usage: inspect\n\
-             env: GROUP=G2-1..G2-14 (default G2-1)\n\
+             env: WORKLOAD=<spec> (default G2-1; a group like G2-1/G4-3/G8-2, a mix like\n\
+             \x20             'soplex,namd', or 'trace:path.ctrace'; GROUP= is a legacy alias)\n\
              \x20    SCHEME=<policy> (default ucp; one of: {})\n\
              \x20    CURVES=1 to print per-epoch UMON miss curves\n\
              \x20    EPOCHS=n epochs to watch (default 34)\n\
@@ -39,7 +42,17 @@ fn main() {
         );
         return;
     }
-    let gname = std::env::var("GROUP").unwrap_or_else(|_| "G2-1".into());
+    let spec = std::env::var("WORKLOAD")
+        .or_else(|_| std::env::var("GROUP"))
+        .unwrap_or_else(|_| "G2-1".into());
+    let workloads_reg = workload_registry();
+    let workload = match workloads_reg.resolve(&spec) {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("{e}");
+            std::process::exit(2);
+        }
+    };
     let requested = std::env::var("SCHEME").unwrap_or_else(|_| "ucp".into());
     let Some(policy_name) = registry.resolve(&requested) else {
         eprintln!("unknown policy '{requested}'; registered policies:");
@@ -58,20 +71,17 @@ fn main() {
         .ok()
         .and_then(|v| v.parse().ok())
         .unwrap_or(34);
-    let group = two_core_groups()
-        .into_iter()
-        .find(|g| g.name == gname)
-        .expect("group");
-    println!("{} under {}", group, policy_name);
-    let mut cores: Vec<Core> = group
-        .benchmarks
+    let n = workload.cores();
+    println!("{} under {}", workload, policy_name);
+    let mut cores: Vec<Core> = workload
+        .members
         .iter()
         .enumerate()
-        .map(|(i, b)| {
+        .map(|(i, m)| {
             Core::new(
                 CoreId(i as u8),
                 CoreConfig::default(),
-                Box::new(SyntheticSource::new(b.model(), 0x5EED ^ ((i as u64) << 32))),
+                m.source(0x5EED ^ ((i as u64) << 32)),
             )
         })
         .collect();
@@ -79,8 +89,9 @@ fn main() {
         .entry(policy_name)
         .and_then(|e| e.scheme)
         .unwrap_or(SchemeKind::Cooperative);
-    let llc_cfg = LlcConfig::two_core(legacy_scheme).with_epoch(500_000);
-    let spec = PolicySpec::for_llc(&llc_cfg, 2).with_qos_slack(qos_slack);
+    let llc_cfg = LlcConfig::for_cores(n, legacy_scheme).with_epoch(500_000);
+    let ways = llc_cfg.geom.ways();
+    let spec = PolicySpec::for_llc(&llc_cfg, n).with_qos_slack(qos_slack);
     let mut policy = registry.build(policy_name, &spec).expect("name resolved");
     if let Some(cpe) = (policy.as_mut() as &mut dyn std::any::Any)
         .downcast_mut::<coop_core::policy::DynamicCpePolicy>()
@@ -88,13 +99,13 @@ fn main() {
         // Without a solo profile the CPE policy never repartitions; feed it
         // the quick-scale profile so the watched epochs actually move.
         println!("profiling solo runs for the Dynamic CPE profile...");
-        cpe.set_profile(harness::solo::cpe_profile(
-            &group.benchmarks,
-            llc_cfg,
+        cpe.set_profile(harness::solo::cpe_profile_for(
+            &workload,
+            harness::solo::solo_llc(n),
             harness::SimScale::quick(),
         ));
     }
-    let mut llc = PartitionedLlc::for_policy(llc_cfg, 2, policy.as_ref());
+    let mut llc = PartitionedLlc::for_policy(llc_cfg, n, policy.as_ref());
     let mut dram = Dram::new(DramConfig::default());
     let dvfs_mode = policy_name == "dvfs";
     if dvfs_mode {
@@ -119,10 +130,11 @@ fn main() {
         }
         if now >= next_epoch {
             if curves {
-                for (i, b) in group.benchmarks.iter().enumerate() {
+                for (i, name) in workload.member_names().iter().enumerate() {
                     let c = llc.umon_curve(CoreId(i as u8));
-                    let m: Vec<String> = (0..=8).map(|w| format!("{:.0}", c.misses(w))).collect();
-                    println!("e{epoch} {:8} curve: {}", b.name(), m.join(" "));
+                    let m: Vec<String> =
+                        (0..=ways).map(|w| format!("{:.0}", c.misses(w))).collect();
+                    println!("e{epoch} {:8} curve: {}", name, m.join(" "));
                 }
             }
             let retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();

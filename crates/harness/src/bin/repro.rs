@@ -3,27 +3,33 @@
 //! Usage:
 //!
 //! ```text
-//! repro <experiment|all> [--scale quick|tiny|small|medium|paper] [--csv DIR]
-//!       [--slacks 0.05,0.10,0.20] [--policy name[,name...]]
+//! repro <experiment|all> [--scale quick|tiny|small|medium|paper]
+//!       [--csv DIR] [--json DIR] [--slacks 0.05,0.10,0.20]
+//!       [--policy name[,name...]] [--group name[,name...]]
 //!
 //! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig5_10 fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
-//!              all two-core four-core
+//!              all two-core four-core eight_core
 //! ```
 //!
-//! `--policy` restricts the Figure 5-10 sweeps to the named policies (from
-//! the harness registry; Fair Share always joins as the normalization
-//! baseline). `dvfs_energy` sweeps the coordinated DVFS + partitioning
-//! subsystem's QoS slack levels (override with `--slacks`) against the
-//! Cooperative-only baseline. The scale can also be set via the
-//! `COOP_SCALE` environment variable.
+//! `--policy` restricts the sweep figures to the named policies (from the
+//! harness policy registry; Fair Share always joins as the normalization
+//! baseline), and `--group` restricts them to the named workload groups
+//! (from the harness workload registry, e.g. `G2-1` — a sweep whose core
+//! count has no matching group is skipped). `eight_core` sweeps the G8
+//! extension groups in the 8 MB / 32-way LLC. `dvfs_energy` sweeps the
+//! coordinated DVFS + partitioning subsystem's QoS slack levels (override
+//! with `--slacks`) against the Cooperative-only baseline. The scale can
+//! also be set via the `COOP_SCALE` environment variable. `--csv` and
+//! `--json` write one machine-readable file per experiment.
 
 use std::io::Write as _;
 
 use harness::experiments::fig11_13::ThresholdMetric;
 use harness::experiments::fig5_10::Metric;
 use harness::experiments::{self, Experiment};
-use harness::{policy_registry, SimScale};
+use harness::{policy_registry, workload_registry, SimScale};
+use simkit::table::json_string;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,8 +39,10 @@ fn main() {
     }
     let mut scale = SimScale::from_env_or(SimScale::small());
     let mut csv_dir: Option<String> = None;
+    let mut json_dir: Option<String> = None;
     let mut slacks: Vec<f64> = Vec::new();
     let mut policies: Vec<&'static str> = Vec::new();
+    let mut groups: Vec<String> = Vec::new();
     let mut what = args[0].clone();
     let mut i = 0;
     while i < args.len() {
@@ -47,6 +55,10 @@ fn main() {
             "--csv" => {
                 i += 1;
                 csv_dir = Some(args.get(i).expect("--csv needs a directory").clone());
+            }
+            "--json" => {
+                i += 1;
+                json_dir = Some(args.get(i).expect("--json needs a directory").clone());
             }
             "--policy" => {
                 i += 1;
@@ -66,6 +78,28 @@ fn main() {
                                     requested: name.trim().to_string(),
                                     known: registry.names(),
                                 }
+                            );
+                            std::process::exit(2);
+                        }
+                    }
+                }
+            }
+            "--group" => {
+                i += 1;
+                let list = args.get(i).expect("--group needs a name list");
+                let registry = workload_registry();
+                for name in list.split(',') {
+                    let name = name.trim();
+                    match registry.canonical_group(name) {
+                        Some(canonical) => {
+                            if !groups.contains(&canonical) {
+                                groups.push(canonical);
+                            }
+                        }
+                        None => {
+                            eprintln!(
+                                "unknown workload group '{name}'; registered groups: {}",
+                                registry.group_names().join(", ")
                             );
                             std::process::exit(2);
                         }
@@ -94,19 +128,36 @@ fn main() {
         i += 1;
     }
 
-    // The filter only drives the standalone Figure 5-10 sweeps. Elsewhere it
+    // The filters only drive the standalone sweep figures. Elsewhere they
     // would either do nothing (fig11-16, tables, dvfs_energy) or *add* a
     // second, differently-keyed sweep beside the full one that figs 14-16
-    // need anyway (two-core/all) — so ignore it loudly instead.
-    let policy_aware = matches!(
+    // need anyway (two-core/all) — so ignore them loudly instead.
+    let sweep_aware = matches!(
         what.as_str(),
-        "fig5" | "fig6" | "fig7" | "fig8" | "fig9" | "fig10" | "fig5_10" | "four-core"
+        "fig5"
+            | "fig6"
+            | "fig7"
+            | "fig8"
+            | "fig9"
+            | "fig10"
+            | "fig5_10"
+            | "four-core"
+            | "eight_core"
+            | "eight-core"
     );
-    if !policies.is_empty() && !policy_aware {
-        eprintln!(
-            "# note: --policy only filters fig5..fig10/fig5_10/four-core; ignored for '{what}'"
-        );
-        policies.clear();
+    if !sweep_aware {
+        if !policies.is_empty() {
+            eprintln!(
+                "# note: --policy only filters fig5..fig10/fig5_10/four-core/eight_core; ignored for '{what}'"
+            );
+            policies.clear();
+        }
+        if !groups.is_empty() {
+            eprintln!(
+                "# note: --group only filters fig5..fig10/fig5_10/four-core/eight_core; ignored for '{what}'"
+            );
+            groups.clear();
+        }
     }
 
     eprintln!(
@@ -114,11 +165,24 @@ fn main() {
         scale.name, scale.instrs_per_app, scale.epoch_cycles
     );
     let start = std::time::Instant::now();
-    let list = select(&what, scale, &slacks, &policies);
+    let list = select(&what, scale, &slacks, &policies, &groups);
+    if list.is_empty() {
+        // Only reachable via a --group filter whose core count doesn't
+        // match the requested sweep; a silent exit-0 would read as
+        // success to scripts.
+        eprintln!(
+            "'{what}' produced no experiments under --group {}",
+            groups.join(",")
+        );
+        std::process::exit(2);
+    }
     for e in &list {
         println!("{}", e.render());
         if let Some(dir) = &csv_dir {
             write_csv(dir, e);
+        }
+        if let Some(dir) = &json_dir {
+            write_json(dir, e);
         }
     }
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
@@ -129,36 +193,51 @@ fn select(
     scale: SimScale,
     slacks: &[f64],
     policies: &[&'static str],
+    groups: &[String],
 ) -> Vec<Experiment> {
-    let fig = |cores: usize, metric: Metric| {
-        if policies.is_empty() {
-            experiments::fig5_10::figure(cores, metric, scale)
+    let fig = |cores: usize, metric: Metric| -> Option<Experiment> {
+        let policies: &[&'static str] = if policies.is_empty() {
+            &coop_core::PAPER_POLICIES
         } else {
-            experiments::fig5_10::figure_for(cores, metric, scale, policies)
+            policies
+        };
+        let built = experiments::fig5_10::figure_for(cores, metric, scale, policies, groups);
+        if built.is_none() {
+            eprintln!("# note: --group filter leaves no {cores}-core groups; sweep skipped");
         }
+        built
+    };
+    let sweep3 = |cores: usize| -> Vec<Experiment> {
+        // The first metric decides whether the group filter leaves any
+        // group at this core count (fig prints the skip note once); the
+        // other two then can't miss.
+        let Some(first) = fig(cores, Metric::WeightedSpeedup) else {
+            return Vec::new();
+        };
+        let mut v = vec![first];
+        v.extend(
+            [Metric::DynamicEnergy, Metric::StaticEnergy]
+                .into_iter()
+                .filter_map(|m| fig(cores, m)),
+        );
+        v
     };
     match what {
         "dvfs_energy" => vec![experiments::dvfs_energy::figure(scale, slacks)],
         "table1" => vec![experiments::table1::table()],
         "table3" => vec![experiments::table3::table(scale)],
         "table4" => vec![experiments::table4::table()],
-        "fig5" => vec![fig(2, Metric::WeightedSpeedup)],
-        "fig6" => vec![fig(2, Metric::DynamicEnergy)],
-        "fig7" => vec![fig(2, Metric::StaticEnergy)],
-        "fig8" => vec![fig(4, Metric::WeightedSpeedup)],
-        "fig9" => vec![fig(4, Metric::DynamicEnergy)],
-        "fig10" => vec![fig(4, Metric::StaticEnergy)],
-        "fig5_10" => [
-            (2, Metric::WeightedSpeedup),
-            (2, Metric::DynamicEnergy),
-            (2, Metric::StaticEnergy),
-            (4, Metric::WeightedSpeedup),
-            (4, Metric::DynamicEnergy),
-            (4, Metric::StaticEnergy),
-        ]
-        .into_iter()
-        .map(|(cores, m)| fig(cores, m))
-        .collect(),
+        "fig5" => fig(2, Metric::WeightedSpeedup).into_iter().collect(),
+        "fig6" => fig(2, Metric::DynamicEnergy).into_iter().collect(),
+        "fig7" => fig(2, Metric::StaticEnergy).into_iter().collect(),
+        "fig8" => fig(4, Metric::WeightedSpeedup).into_iter().collect(),
+        "fig9" => fig(4, Metric::DynamicEnergy).into_iter().collect(),
+        "fig10" => fig(4, Metric::StaticEnergy).into_iter().collect(),
+        "fig5_10" => {
+            let mut v = sweep3(2);
+            v.extend(sweep3(4));
+            v
+        }
         "fig11" => vec![experiments::fig11_13::figure(
             ThresholdMetric::Performance,
             scale,
@@ -175,37 +254,22 @@ fn select(
         "fig15" => vec![experiments::fig15::figure(scale)],
         "fig16" => vec![experiments::fig16::figure(scale)],
         "two-core" => {
-            let mut v = vec![
-                fig(2, Metric::WeightedSpeedup),
-                fig(2, Metric::DynamicEnergy),
-                fig(2, Metric::StaticEnergy),
-            ];
+            let mut v = sweep3(2);
             v.push(experiments::fig14::figure(scale));
             v.push(experiments::fig15::figure(scale));
             v.push(experiments::fig16::figure(scale));
             v
         }
-        "four-core" => vec![
-            fig(4, Metric::WeightedSpeedup),
-            fig(4, Metric::DynamicEnergy),
-            fig(4, Metric::StaticEnergy),
-        ],
+        "four-core" => sweep3(4),
+        "eight_core" | "eight-core" => sweep3(8),
         "all" => {
             let mut v = vec![
                 experiments::table1::table(),
                 experiments::table4::table(),
                 experiments::table3::table(scale),
             ];
-            for (cores, m) in [
-                (2, Metric::WeightedSpeedup),
-                (2, Metric::DynamicEnergy),
-                (2, Metric::StaticEnergy),
-                (4, Metric::WeightedSpeedup),
-                (4, Metric::DynamicEnergy),
-                (4, Metric::StaticEnergy),
-            ] {
-                v.push(fig(cores, m));
-            }
+            v.extend(sweep3(2));
+            v.extend(sweep3(4));
             for m in [
                 ThresholdMetric::Performance,
                 ThresholdMetric::DynamicEnergy,
@@ -226,21 +290,43 @@ fn select(
     }
 }
 
+/// File stem for an experiment's machine-readable outputs.
+fn file_stem(e: &Experiment) -> String {
+    e.id.to_lowercase().replace(' ', "")
+}
+
 fn write_csv(dir: &str, e: &Experiment) {
     std::fs::create_dir_all(dir).expect("create csv dir");
-    let name = e.id.to_lowercase().replace(' ', "");
-    let path = format!("{dir}/{name}.csv");
+    let path = format!("{dir}/{}.csv", file_stem(e));
     let mut f = std::fs::File::create(&path).expect("create csv file");
     f.write_all(e.table.to_csv().as_bytes()).expect("write csv");
     eprintln!("# wrote {path}");
 }
 
+fn write_json(dir: &str, e: &Experiment) {
+    std::fs::create_dir_all(dir).expect("create json dir");
+    let path = format!("{dir}/{}.json", file_stem(e));
+    let notes: Vec<String> = e.notes.iter().map(|n| json_string(n)).collect();
+    let doc = format!(
+        "{{\"id\":{},\"title\":{},\"table\":{},\"notes\":[{}]}}\n",
+        json_string(&e.id),
+        json_string(&e.title),
+        e.table.to_json(),
+        notes.join(",")
+    );
+    std::fs::write(&path, doc).expect("write json");
+    eprintln!("# wrote {path}");
+}
+
 fn usage() {
     eprintln!(
-        "usage: repro <experiment|all|two-core|four-core> [--scale quick|tiny|small|medium|paper] [--csv DIR]\n\
-         \x20      [--slacks 0.05,0.10,0.20] [--policy name[,name...]]\n\
+        "usage: repro <experiment|all|two-core|four-core|eight_core> [--scale quick|tiny|small|medium|paper]\n\
+         \x20      [--csv DIR] [--json DIR] [--slacks 0.05,0.10,0.20]\n\
+         \x20      [--policy name[,name...]] [--group name[,name...]]\n\
          experiments: table1 table3 table4 fig5..fig16 fig5_10 dvfs_energy\n\
-         --policy:    restrict the Figure 5-10 sweeps to these registry policies ({})\n\
+         --policy:    restrict the sweep figures to these registry policies ({})\n\
+         --group:     restrict the sweep figures to these workload groups (G2-*, G4-*, G8-*)\n\
+         eight_core:  G8 extension sweeps beyond the paper (8 MB / 32-way LLC)\n\
          dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep",
         policy_registry().names().join(", ")
     );

@@ -20,11 +20,10 @@ use coop_dvfs::DvfsConfig;
 use simkit::geometric_mean;
 use simkit::table::Table;
 
-use crate::experiments::{parallel_for_each, Experiment};
+use crate::experiments::{groups_for_cores, parallel_for_each, Experiment};
 use crate::scale::SimScale;
 use crate::system::{RunResult, System};
 use std::sync::Mutex;
-use workloads::two_core_groups;
 
 /// Default QoS slack sweep (fractional allowed slowdown per core).
 pub const DEFAULT_SLACKS: [f64; 3] = [0.05, 0.10, 0.20];
@@ -37,7 +36,7 @@ pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
     } else {
         slacks.to_vec()
     };
-    let groups = two_core_groups();
+    let groups = groups_for_cores(2);
     // One controller configuration template: the runs derive from it (per
     // slack) and the residency column labels read its V/f table, so the
     // printed frequencies are by construction the ones the cores ran at.
@@ -51,7 +50,7 @@ pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
         Mutex::new(vec![vec![None; slacks.len() + 1]; groups.len()]);
     parallel_for_each(jobs, |(g, j)| {
         let mut builder = System::builder()
-            .cores(groups[g].benchmarks.clone())
+            .workload_resolved(groups[g].clone())
             .scale(scale);
         builder = if j > 0 {
             builder.policy("dvfs").qos_slack(slacks[j - 1])
@@ -107,7 +106,7 @@ pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
                 per_slack_wins[si] += 1;
             }
             per_slack_ratios[si].push(e_ratio);
-            let mut cells = vec![group.name.clone(), format!("{slack:.2}")];
+            let mut cells = vec![group.label.clone(), format!("{slack:.2}")];
             cells.extend(
                 [
                     e_ratio,

@@ -4,9 +4,8 @@
 
 use simkit::geometric_mean;
 use simkit::table::Table;
-use workloads::two_core_groups;
 
-use crate::experiments::{cached_threshold_sweep, Experiment};
+use crate::experiments::{cached_threshold_sweep, groups_for_cores, Experiment};
 use crate::scale::SimScale;
 
 /// The threshold values the paper sweeps (Section 5.1).
@@ -26,8 +25,8 @@ pub enum ThresholdMetric {
 /// Builds Figure 11, 12 or 13.
 pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
     let runs = cached_threshold_sweep(scale);
-    let groups = two_core_groups();
-    let llc = crate::experiments::llc_for(2, coop_core::SchemeKind::Cooperative);
+    let groups = groups_for_cores(2);
+    let llc = crate::solo::solo_llc(2);
     let (id, title) = match metric {
         ThresholdMetric::Performance => (
             "Figure 11",
@@ -49,7 +48,7 @@ pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
     let mut per_threshold: Vec<Vec<f64>> = vec![Vec::new(); THRESHOLDS.len()];
 
     for (g, group) in groups.iter().enumerate() {
-        let ipc_alone = crate::solo::ipc_alone(&group.benchmarks, llc, scale);
+        let ipc_alone = crate::solo::ipc_alone_for(group, llc, scale);
         let value = |t: usize| -> f64 {
             let r = &runs[g][t];
             match metric {
@@ -63,7 +62,7 @@ pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
         for (acc, &v) in per_threshold.iter_mut().zip(values.iter()) {
             acc.push(v);
         }
-        table.row_f64(&group.name, &values, 3);
+        table.row_f64(&group.label, &values, 3);
     }
     let avgs: Vec<f64> = per_threshold
         .iter()

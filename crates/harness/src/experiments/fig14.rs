@@ -36,7 +36,7 @@ pub fn figure(scale: SimScale) -> Experiment {
             // ALL order: recipient-miss, recipient-hit, donor-miss, donor-hit.
             donor_hit_plus_recipient_miss.push(fracs[0] + fracs[3]);
         }
-        table.row_f64(&sweep.groups[g].name, &fracs, 3);
+        table.row_f64(&sweep.groups[g].label, &fracs, 3);
     }
     let grand: u64 = totals.iter().sum();
     let avg: Vec<f64> = totals

@@ -34,13 +34,13 @@ pub fn figure(scale: SimScale) -> Experiment {
         all_ucp.extend_from_slice(ucp);
         let row = match (mean(ucp), mean(cp)) {
             (Some(u), Some(c)) => vec![
-                sweep.groups[g].name.clone(),
+                sweep.groups[g].label.clone(),
                 format!("{u:.0}"),
                 format!("{c:.0}"),
                 format!("{:.1}x", u / c.max(1.0)),
             ],
             (u, c) => vec![
-                sweep.groups[g].name.clone(),
+                sweep.groups[g].label.clone(),
                 u.map_or("-".into(), |v| format!("{v:.0}")),
                 c.map_or("-".into(), |v| format!("{v:.0}")),
                 "-".to_string(),

@@ -1,11 +1,13 @@
 //! Figures 5-10: weighted speedup, dynamic energy and static energy for the
 //! two-core (Figs 5-7) and four-core (Figs 8-10) sweeps, all normalized to
-//! Fair Share, with the geometric-mean AVG column the paper plots.
+//! Fair Share, with the geometric-mean AVG column the paper plots. The
+//! same machinery renders the 8-core extension sweep over the G8 groups
+//! (beyond the paper).
 
 use simkit::geometric_mean;
 use simkit::table::Table;
 
-use crate::experiments::{cached_sweep_for, Experiment, Sweep};
+use crate::experiments::{cached_sweep_filtered, Experiment, Sweep};
 use crate::scale::SimScale;
 use coop_core::PAPER_POLICIES;
 
@@ -30,20 +32,26 @@ impl Metric {
     }
 }
 
-/// Builds one of Figures 5-10 over the five paper policies.
+/// Builds one of Figures 5-10 (or an 8-core extension figure) over the
+/// five paper policies.
 pub fn figure(cores: usize, metric: Metric, scale: SimScale) -> Experiment {
-    figure_for(cores, metric, scale, &PAPER_POLICIES)
+    figure_for(cores, metric, scale, &PAPER_POLICIES, &[])
+        .expect("unfiltered sweeps always have groups")
 }
 
-/// Builds one of Figures 5-10 over an explicit policy list (canonical
-/// registry names; Fair Share joins automatically as the baseline).
+/// Builds one of Figures 5-10 (or an 8-core extension figure) over an
+/// explicit policy list (canonical registry names; Fair Share joins
+/// automatically as the baseline), optionally restricted to the named
+/// groups. Returns `None` when the group filter leaves nothing at this
+/// core count.
 pub fn figure_for(
     cores: usize,
     metric: Metric,
     scale: SimScale,
     policies: &[&'static str],
-) -> Experiment {
-    let sweep = cached_sweep_for(cores, scale, policies);
+    group_filter: &[String],
+) -> Option<Experiment> {
+    let sweep = cached_sweep_filtered(cores, scale, policies, group_filter)?;
     let (id, title) = match (cores, metric) {
         (2, Metric::WeightedSpeedup) => {
             ("Figure 5", "Weighted speedup, two-core (norm. Fair Share)")
@@ -55,7 +63,19 @@ pub fn figure_for(
         }
         (4, Metric::DynamicEnergy) => ("Figure 9", "Dynamic energy, four-core (norm. Fair Share)"),
         (4, Metric::StaticEnergy) => ("Figure 10", "Static energy, four-core (norm. Fair Share)"),
-        _ => panic!("paper figures cover 2- and 4-core systems"),
+        (8, Metric::WeightedSpeedup) => (
+            "8-core WS",
+            "Weighted speedup, eight-core (norm. Fair Share)",
+        ),
+        (8, Metric::DynamicEnergy) => (
+            "8-core DynE",
+            "Dynamic energy, eight-core (norm. Fair Share)",
+        ),
+        (8, Metric::StaticEnergy) => (
+            "8-core StatE",
+            "Static energy, eight-core (norm. Fair Share)",
+        ),
+        _ => panic!("sweep figures cover 2-, 4- and 8-core systems"),
     };
 
     let mut headers = vec!["Group".to_string()];
@@ -71,7 +91,7 @@ pub fn figure_for(
         for (acc, &v) in per_policy.iter_mut().zip(values.iter()) {
             acc.push(v);
         }
-        table.row_f64(&sweep.groups[g].name, &values, 3);
+        table.row_f64(&sweep.groups[g].label, &values, 3);
     }
     let avgs: Vec<f64> = per_policy
         .iter()
@@ -87,7 +107,19 @@ pub fn figure_for(
             .position(|&p| p == name)
             .map(|i| avgs[i])
     };
-    let notes = match (metric, avg_of("cooperative"), avg_of("ucp")) {
+    // Paper-comparison notes only apply to the paper's 2-/4-core sweeps.
+    let mut notes = if cores == 8 {
+        let parts: Vec<String> = ["ucp", "cooperative"]
+            .iter()
+            .filter_map(|&n| avg_of(n).map(|v| format!("{n} {v:.3}")))
+            .collect();
+        if parts.is_empty() {
+            vec![format!("policies: {}", sweep.policies.join(", "))]
+        } else {
+            vec![format!("measured geomeans: {}", parts.join(", "))]
+        }
+    } else {
+        match (metric, avg_of("cooperative"), avg_of("ucp")) {
         (Metric::WeightedSpeedup, Some(coop), Some(ucp)) => vec![
             format!(
                 "paper: UCP and Cooperative ~1.13-1.14 (2-core) / ~1.12-1.13 (4-core); measured UCP {ucp:.3}, Cooperative {coop:.3}"
@@ -112,12 +144,31 @@ pub fn figure_for(
         (Metric::StaticEnergy, Some(coop), _) => vec![format!(
             "paper: Cooperative ~0.75 (2-core) / ~0.80 (4-core) of Fair Share; measured {coop:.3}; Unmanaged/UCP/FairShare stay at 1.0"
         )],
-        _ => vec![format!("policies: {}", sweep.policies.join(", "))],
+            _ => vec![format!("policies: {}", sweep.policies.join(", "))],
+        }
     };
-    Experiment {
+    if cores == 8 {
+        notes.insert(
+            0,
+            "extension beyond the paper: 8 cores in the 8 MB / 32-way LLC over the G8 groups"
+                .to_string(),
+        );
+    }
+    if !group_filter.is_empty() {
+        notes.push(format!(
+            "groups restricted to: {}",
+            sweep
+                .groups
+                .iter()
+                .map(|g| g.label.as_str())
+                .collect::<Vec<_>>()
+                .join(", ")
+        ));
+    }
+    Some(Experiment {
         id: id.to_string(),
         title: title.to_string(),
         table,
         notes,
-    }
+    })
 }

@@ -1,12 +1,14 @@
 //! One module per paper table/figure, plus shared sweep machinery.
 //!
 //! The sweeps enumerate *policies by registry name* (see
-//! [`crate::policies::policy_registry`]): Figures 5-7 (and 8-10) all read
-//! from the same 14-group × N-policy sweep, so sweeps are memoized
-//! process-wide by (core count, scale, policy list); the threshold sweep
-//! behind Figures 11-13 is cached the same way. Every experiment returns an
-//! [`Experiment`] holding a rendered table plus free-form notes comparing
-//! against the paper's reported numbers.
+//! [`crate::policies::policy_registry`]) and *workload groups by registry
+//! resolution* (see [`crate::workload_registry`]): Figures 5-7 (and 8-10,
+//! and the 8-core extension) all read from the same group × policy sweep,
+//! so sweeps are memoized process-wide by (core count, scale, policy
+//! list, group list); the threshold sweep behind Figures 11-13 is cached
+//! the same way. Every experiment returns an [`Experiment`] holding a
+//! rendered table plus free-form notes comparing against the paper's
+//! reported numbers.
 
 pub mod dvfs_energy;
 pub mod fig11_13;
@@ -22,9 +24,9 @@ use std::collections::BTreeSet;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
-use coop_core::{LlcConfig, SchemeKind, PAPER_POLICIES};
+use coop_core::PAPER_POLICIES;
 use simkit::table::Table;
-use workloads::{four_core_groups, two_core_groups, Benchmark, WorkloadGroup};
+use workloads::ResolvedWorkload;
 
 use crate::scale::SimScale;
 use crate::solo;
@@ -62,18 +64,19 @@ impl Experiment {
 }
 
 /// All runs of one core-count sweep: `runs[group][policy]`, with policies
-/// enumerated by registry name.
+/// enumerated by registry name and groups resolved through the workload
+/// registry.
 #[derive(Debug)]
 pub struct Sweep {
-    /// 2 or 4.
+    /// 2, 4 or 8.
     pub cores: usize,
     /// Canonical policy names, in run order (the columns of `runs`).
     pub policies: Vec<&'static str>,
-    /// The Table 4 groups, in order.
-    pub groups: Vec<WorkloadGroup>,
+    /// The resolved workload groups, in registry order.
+    pub groups: Vec<ResolvedWorkload>,
     /// `runs[group_idx][policy_idx]`.
     pub runs: Vec<Vec<RunResult>>,
-    /// Solo IPCs per group (aligned with group benchmark order).
+    /// Solo IPCs per group (aligned with group member order).
     pub ipc_alone: Vec<Vec<f64>>,
 }
 
@@ -121,51 +124,69 @@ impl Sweep {
     }
 }
 
-/// The LLC config for a sweep of `cores` cores.
-pub fn llc_for(cores: usize, scheme: SchemeKind) -> LlcConfig {
+/// The registry group-name prefix for an `n`-core sweep.
+pub fn group_prefix(cores: usize) -> &'static str {
     match cores {
-        2 => LlcConfig::two_core(scheme),
-        4 => LlcConfig::four_core(scheme),
-        n => panic!("the paper evaluates 2- and 4-core systems, not {n}"),
+        2 => "G2-",
+        4 => "G4-",
+        8 => "G8-",
+        n => panic!("group sweeps cover 2-, 4- and 8-core systems, not {n}"),
     }
 }
 
-/// Runs one (group, policy) cell; `policy` is a registry name.
-pub fn run_group(group: &WorkloadGroup, policy: &str, scale: SimScale) -> RunResult {
-    let cores = group.cores();
+/// The resolved workload groups of an `n`-core sweep, in registry order.
+pub fn groups_for_cores(cores: usize) -> Vec<ResolvedWorkload> {
+    let registry = crate::workload_registry();
+    registry
+        .groups_with_prefix(group_prefix(cores))
+        .iter()
+        .map(|name| registry.resolve(name).expect("registered group resolves"))
+        .collect()
+}
+
+/// Runs one (workload, policy) cell; `policy` is a registry name.
+pub fn run_group(workload: &ResolvedWorkload, policy: &str, scale: SimScale) -> RunResult {
     let canonical = crate::policies::policy_registry()
         .resolve(policy)
         .unwrap_or_else(|| panic!("unknown policy '{policy}'"));
     let mut sys = System::builder()
-        .cores(group.benchmarks.clone())
+        .workload_resolved(workload.clone())
         .policy(canonical)
         .scale(scale)
         .build();
     if canonical == "cpe" {
-        sys.set_cpe_profile(solo::cpe_profile(
-            &group.benchmarks,
-            llc_for(cores, SchemeKind::DynamicCpe),
+        sys.set_cpe_profile(solo::cpe_profile_for(
+            workload,
+            solo::solo_llc(workload.cores()),
             scale,
         ));
     }
     sys.run()
 }
 
-fn compute_sweep(cores: usize, scale: SimScale, policies: &[&'static str]) -> Sweep {
-    let groups = match cores {
-        2 => two_core_groups(),
-        4 => four_core_groups(),
-        n => panic!("unsupported core count {n}"),
-    };
-    let llc = llc_for(cores, SchemeKind::Ucp);
+fn compute_sweep(
+    groups: Vec<ResolvedWorkload>,
+    cores: usize,
+    scale: SimScale,
+    policies: &[&'static str],
+) -> Sweep {
+    let llc = solo::solo_llc(cores);
 
     // Prefetch solo baselines in parallel (they are shared by many cells).
-    let benchmarks: BTreeSet<Benchmark> = groups
+    let names: BTreeSet<String> = groups
         .iter()
-        .flat_map(|g| g.benchmarks.iter().copied())
+        .flat_map(|g| g.member_names().into_iter().map(str::to_string))
         .collect();
-    parallel_for_each(benchmarks.into_iter().collect(), |b| {
-        solo::solo_result(b, llc, scale);
+    let members: Vec<_> = groups
+        .iter()
+        .flat_map(|g| g.members.iter().cloned())
+        .filter({
+            let mut todo = names;
+            move |m| todo.remove(m.name())
+        })
+        .collect();
+    parallel_for_each(members, |m| {
+        solo::solo_result_for(&m, llc, scale);
     });
 
     // Run every (group, policy) cell in parallel.
@@ -187,7 +208,7 @@ fn compute_sweep(cores: usize, scale: SimScale, policies: &[&'static str]) -> Sw
 
     let ipc_alone = groups
         .iter()
-        .map(|g| solo::ipc_alone(&g.benchmarks, llc, scale))
+        .map(|g| solo::ipc_alone_for(g, llc, scale))
         .collect();
     Sweep {
         cores,
@@ -220,9 +241,9 @@ pub(crate) fn parallel_for_each<T: Send, F: Fn(T) + Sync>(items: Vec<T>, f: F) {
     });
 }
 
-/// Cache entries for [`cached_sweep_for`], keyed by
-/// `(cores, scale name, policies)`.
-type SweepKey = (usize, &'static str, Vec<&'static str>);
+/// Cache entries for [`cached_sweep_filtered`], keyed by
+/// `(cores, scale name, policies, group labels)`.
+type SweepKey = (usize, &'static str, Vec<&'static str>, Vec<String>);
 type SweepCache = Mutex<Vec<(SweepKey, Arc<Sweep>)>>;
 
 /// Memoized sweep for (cores, scale) over the five paper policies.
@@ -234,27 +255,58 @@ pub fn cached_sweep(cores: usize, scale: SimScale) -> Arc<Sweep> {
 /// (canonical registry names; the Fair Share baseline is added when
 /// missing, since every figure normalizes to it).
 pub fn cached_sweep_for(cores: usize, scale: SimScale, policies: &[&'static str]) -> Arc<Sweep> {
+    cached_sweep_filtered(cores, scale, policies, &[])
+        .expect("the registry always has groups for 2/4/8 cores")
+}
+
+/// Memoized sweep for (cores, scale) over an explicit policy list,
+/// restricted to the named groups (canonical registry group names; an
+/// empty filter keeps every group of the core count). Returns `None`
+/// when the filter leaves no group at this core count.
+pub fn cached_sweep_filtered(
+    cores: usize,
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+) -> Option<Arc<Sweep>> {
     static CACHE: OnceLock<SweepCache> = OnceLock::new();
     let mut policies = policies.to_vec();
     if !policies.contains(&"fair") {
         policies.insert(0, "fair");
     }
+    let groups: Vec<ResolvedWorkload> = groups_for_cores(cores)
+        .into_iter()
+        .filter(|g| {
+            group_filter.is_empty()
+                || group_filter
+                    .iter()
+                    .any(|f| f.eq_ignore_ascii_case(&g.label))
+        })
+        .collect();
+    if groups.is_empty() {
+        return None;
+    }
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
-    let key: SweepKey = (cores, scale.name, policies.clone());
+    let key: SweepKey = (
+        cores,
+        scale.name,
+        policies.clone(),
+        groups.iter().map(|g| g.label.clone()).collect(),
+    );
     if let Some((_, hit)) = cache
         .lock()
         .expect("sweep cache")
         .iter()
         .find(|(k, _)| *k == key)
     {
-        return Arc::clone(hit);
+        return Some(Arc::clone(hit));
     }
-    let sweep = Arc::new(compute_sweep(cores, scale, &policies));
+    let sweep = Arc::new(compute_sweep(groups, cores, scale, &policies));
     cache
         .lock()
         .expect("sweep cache")
         .push((key, Arc::clone(&sweep)));
-    sweep
+    Some(sweep)
 }
 
 /// Memoized Cooperative-scheme threshold sweep over the two-core groups
@@ -273,7 +325,7 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
     {
         return Arc::clone(hit);
     }
-    let groups = two_core_groups();
+    let groups = groups_for_cores(2);
     let jobs: Vec<(usize, usize)> = (0..groups.len())
         .flat_map(|g| (0..fig11_13::THRESHOLDS.len()).map(move |t| (g, t)))
         .collect();
@@ -281,7 +333,7 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
         Mutex::new(vec![vec![None; fig11_13::THRESHOLDS.len()]; groups.len()]);
     parallel_for_each(jobs, |(g, t)| {
         let result = System::builder()
-            .cores(groups[g].benchmarks.clone())
+            .workload_resolved(groups[g].clone())
             .policy("cooperative")
             .scale(scale)
             .threshold(fig11_13::THRESHOLDS[t])

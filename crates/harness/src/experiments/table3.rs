@@ -10,7 +10,7 @@ use crate::solo;
 
 /// Builds Table 3 by running every benchmark solo in the two-core LLC.
 pub fn table(scale: SimScale) -> Experiment {
-    let llc = solo::solo_llc_two_core();
+    let llc = solo::solo_llc(2);
     let mut t = Table::new(vec![
         "Benchmark".to_string(),
         "MPKI (paper)".to_string(),

@@ -1,19 +1,21 @@
-//! Per-benchmark solo baselines, memoized process-wide.
+//! Per-workload solo baselines, memoized process-wide.
 //!
 //! Weighted speedup needs `IPC_alone` (each application running alone in the
 //! full LLC); Table 3 needs solo MPKI; the Dynamic CPE scheme needs solo
 //! per-epoch miss curves as its profile. All three come from one solo run
-//! per (benchmark, LLC geometry, scale), cached for the life of the process
-//! so the 14-group sweeps don't re-run them.
+//! per (workload name, LLC geometry, scale), cached for the life of the
+//! process so the group sweeps don't re-run them. Any
+//! [`workloads::WorkloadFactory`] can be baselined — synthetic models and
+//! trace files go through the same path.
 
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use coop_core::{LlcConfig, MissCurve, SchemeKind};
-use workloads::Benchmark;
+use workloads::{Benchmark, ResolvedWorkload, SyntheticWorkload, WorkloadFactory};
 
 use crate::scale::SimScale;
-use crate::system::{System, SystemConfig};
+use crate::system::System;
 
 /// Results of one solo run.
 #[derive(Debug, Clone)]
@@ -28,18 +30,30 @@ pub struct SoloResult {
     pub epoch_curves: Vec<MissCurve>,
 }
 
-type Key = (Benchmark, u64, usize, &'static str);
+type Key = (String, u64, usize, &'static str);
 
 fn cache() -> &'static Mutex<HashMap<Key, Arc<SoloResult>>> {
     static CACHE: OnceLock<Mutex<HashMap<Key, Arc<SoloResult>>>> = OnceLock::new();
     CACHE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-/// Runs (or fetches from cache) the solo baseline for `benchmark` in the
-/// cache geometry of `llc` at `scale`.
-pub fn solo_result(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Arc<SoloResult> {
+/// The solo LLC configuration for an `n`-core system's baselines: the
+/// system's own geometry, run under UCP so the utility monitor stays
+/// active (with one core the allocation is the whole cache, identical to
+/// an unmanaged run).
+pub fn solo_llc(cores: usize) -> LlcConfig {
+    LlcConfig::for_cores(cores, SchemeKind::Ucp)
+}
+
+/// Runs (or fetches from cache) the solo baseline for one workload
+/// factory in the cache geometry of `llc` at `scale`.
+pub fn solo_result_for(
+    factory: &Arc<dyn WorkloadFactory>,
+    llc: LlcConfig,
+    scale: SimScale,
+) -> Arc<SoloResult> {
     let key: Key = (
-        benchmark,
+        factory.name().to_string(),
         llc.geom.size_bytes(),
         llc.geom.ways(),
         scale.name,
@@ -47,7 +61,13 @@ pub fn solo_result(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Arc
     if let Some(hit) = cache().lock().expect("poisoned solo cache").get(&key) {
         return Arc::clone(hit);
     }
-    let run = System::new(SystemConfig::solo(benchmark, llc, scale)).run();
+    let run = System::builder()
+        .workload_resolved(ResolvedWorkload::single(Arc::clone(factory)))
+        .policy("ucp")
+        .llc(llc)
+        .scale(scale)
+        .build()
+        .run();
     let result = Arc::new(SoloResult {
         ipc: run.ipc[0],
         mpki: run.mpki[0],
@@ -61,31 +81,52 @@ pub fn solo_result(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Arc
     result
 }
 
-/// Solo IPCs for a whole group (in benchmark order).
-pub fn ipc_alone(benchmarks: &[Benchmark], llc: LlcConfig, scale: SimScale) -> Vec<f64> {
-    benchmarks
+/// Solo baseline for a synthetic benchmark (typed convenience over
+/// [`solo_result_for`]).
+pub fn solo_result(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Arc<SoloResult> {
+    let factory: Arc<dyn WorkloadFactory> = Arc::new(SyntheticWorkload::new(benchmark));
+    solo_result_for(&factory, llc, scale)
+}
+
+/// Solo IPCs for a whole workload (in member/core order).
+pub fn ipc_alone_for(workload: &ResolvedWorkload, llc: LlcConfig, scale: SimScale) -> Vec<f64> {
+    workload
+        .members
         .iter()
-        .map(|&b| solo_result(b, llc, scale).ipc)
+        .map(|m| solo_result_for(m, llc, scale).ipc)
         .collect()
 }
 
-/// The Dynamic CPE profile for a group: per core, the solo per-epoch curves.
+/// Solo IPCs for a benchmark list (typed legacy shim over
+/// [`ipc_alone_for`]).
+pub fn ipc_alone(benchmarks: &[Benchmark], llc: LlcConfig, scale: SimScale) -> Vec<f64> {
+    ipc_alone_for(&ResolvedWorkload::from_benchmarks(benchmarks), llc, scale)
+}
+
+/// The Dynamic CPE profile for a workload: per core, the solo per-epoch
+/// curves.
+pub fn cpe_profile_for(
+    workload: &ResolvedWorkload,
+    llc: LlcConfig,
+    scale: SimScale,
+) -> coop_core::cpe::CpeProfile {
+    coop_core::cpe::CpeProfile {
+        curves: workload
+            .members
+            .iter()
+            .map(|m| solo_result_for(m, llc, scale).epoch_curves.clone())
+            .collect(),
+    }
+}
+
+/// The Dynamic CPE profile for a benchmark list (typed legacy shim over
+/// [`cpe_profile_for`]).
 pub fn cpe_profile(
     benchmarks: &[Benchmark],
     llc: LlcConfig,
     scale: SimScale,
 ) -> coop_core::cpe::CpeProfile {
-    coop_core::cpe::CpeProfile {
-        curves: benchmarks
-            .iter()
-            .map(|&b| solo_result(b, llc, scale).epoch_curves.clone())
-            .collect(),
-    }
-}
-
-/// Convenience: the two-core LLC geometry used for solo baselines.
-pub fn solo_llc_two_core() -> LlcConfig {
-    LlcConfig::two_core(SchemeKind::Ucp)
+    cpe_profile_for(&ResolvedWorkload::from_benchmarks(benchmarks), llc, scale)
 }
 
 #[cfg(test)]
@@ -104,15 +145,15 @@ mod tests {
 
     #[test]
     fn cache_returns_same_arc() {
-        let a = solo_result(Benchmark::Namd, solo_llc_two_core(), quick());
-        let b = solo_result(Benchmark::Namd, solo_llc_two_core(), quick());
+        let a = solo_result(Benchmark::Namd, solo_llc(2), quick());
+        let b = solo_result(Benchmark::Namd, solo_llc(2), quick());
         assert!(Arc::ptr_eq(&a, &b), "second lookup is a cache hit");
     }
 
     #[test]
     fn streaming_beats_hot_in_mpki() {
-        let lbm = solo_result(Benchmark::Lbm, solo_llc_two_core(), quick());
-        let namd = solo_result(Benchmark::Namd, solo_llc_two_core(), quick());
+        let lbm = solo_result(Benchmark::Lbm, solo_llc(2), quick());
+        let namd = solo_result(Benchmark::Namd, solo_llc(2), quick());
         assert!(
             lbm.mpki > namd.mpki * 4.0,
             "lbm {} vs namd {}",
@@ -122,11 +163,11 @@ mod tests {
     }
 
     #[test]
-    fn group_helpers_align_with_benchmarks() {
-        let benchmarks = [Benchmark::Milc, Benchmark::Povray];
-        let ipcs = ipc_alone(&benchmarks, solo_llc_two_core(), quick());
+    fn group_helpers_align_with_members() {
+        let workload = ResolvedWorkload::from_benchmarks(&[Benchmark::Milc, Benchmark::Povray]);
+        let ipcs = ipc_alone_for(&workload, solo_llc(2), quick());
         assert_eq!(ipcs.len(), 2);
-        let prof = cpe_profile(&benchmarks, solo_llc_two_core(), quick());
+        let prof = cpe_profile_for(&workload, solo_llc(2), quick());
         assert_eq!(prof.curves.len(), 2);
         assert!(!prof.curves[0].is_empty());
     }

@@ -4,21 +4,24 @@
 //!
 //! ```ignore
 //! let r = System::builder()
-//!     .cores(vec![Benchmark::Lbm, Benchmark::Namd])
+//!     .workload("G2-4")               // or "lbm,namd", or "trace:foo.ctrace"
 //!     .policy("cooperative")
 //!     .scale(SimScale::quick())
 //!     .build()
 //!     .run();
 //! ```
 //!
-//! The policy name resolves through the harness [`crate::policies`]
-//! registry (the five paper schemes plus `"dvfs"`); the LLC is built as a
-//! pure enforcement mechanism matching the policy's descriptor, and the
-//! system loop feeds the policy [`coop_core::EpochObservations`] each
-//! epoch and
-//! applies its decisions — way targets through the LLC, clock hints through
-//! the cores. The pre-redesign [`SystemConfig`] constructors remain as thin
-//! shims over the builder for the seed integration suites.
+//! Both axes resolve through string-keyed registries: the policy name
+//! through the harness [`crate::policies`] registry (the five paper
+//! schemes plus `"dvfs"`), and the workload spec through
+//! [`crate::workload_registry`] (named groups, ad-hoc mixes, trace
+//! files). The LLC is built as a pure enforcement mechanism matching the
+//! policy's descriptor, and the system loop feeds the policy
+//! [`coop_core::EpochObservations`] each epoch and applies its decisions —
+//! way targets through the LLC, clock hints through the cores. The
+//! pre-redesign [`SystemConfig`] constructors and the typed
+//! [`SystemBuilder::cores`] entry point remain as thin shims for the seed
+//! integration suites.
 
 use coop_core::cpe::CpeProfile;
 use coop_core::policy::{DynamicCpePolicy, PartitionPolicy};
@@ -29,7 +32,7 @@ use energy::{CoreEnergyParams, CoreEnergyReport, EnergyCounts, EnergyParams, Ene
 use memsim::{Dram, DramConfig};
 use serde::{Deserialize, Serialize};
 use simkit::types::{CoreId, Cycle, LineAddr};
-use workloads::{Benchmark, SyntheticSource};
+use workloads::{Benchmark, ResolvedWorkload};
 
 use crate::scale::SimScale;
 
@@ -110,11 +113,54 @@ impl SystemConfig {
     }
 }
 
-/// Builder for a [`System`]: benchmarks in, policy by registry name,
-/// everything else defaulted to the paper's configuration.
+/// What the builder was asked to run on the cores.
+#[derive(Debug, Clone)]
+enum WorkloadInput {
+    /// A spec string, resolved through [`crate::workload_registry`] at
+    /// build time.
+    Spec(String),
+    /// An already-resolved workload (sweeps resolve once, run many).
+    Resolved(ResolvedWorkload),
+}
+
+/// Why a [`SystemBuilder`] could not build.
+#[derive(Debug)]
+pub enum BuildError {
+    /// The policy name is not in the policy registry.
+    Policy(coop_core::UnknownPolicy),
+    /// The workload spec did not resolve (unknown name, bad trace, bad
+    /// arity).
+    Workload(workloads::WorkloadError),
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::Policy(e) => e.fmt(f),
+            BuildError::Workload(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+impl From<coop_core::UnknownPolicy> for BuildError {
+    fn from(e: coop_core::UnknownPolicy) -> BuildError {
+        BuildError::Policy(e)
+    }
+}
+
+impl From<workloads::WorkloadError> for BuildError {
+    fn from(e: workloads::WorkloadError) -> BuildError {
+        BuildError::Workload(e)
+    }
+}
+
+/// Builder for a [`System`]: a workload spec in, a policy by registry
+/// name, everything else defaulted to the paper's configuration.
 #[derive(Debug, Clone)]
 pub struct SystemBuilder {
-    benchmarks: Vec<Benchmark>,
+    workload: Option<WorkloadInput>,
     policy: String,
     scale: SimScale,
     llc: Option<LlcConfig>,
@@ -129,7 +175,7 @@ pub struct SystemBuilder {
 impl Default for SystemBuilder {
     fn default() -> SystemBuilder {
         SystemBuilder {
-            benchmarks: Vec::new(),
+            workload: None,
             policy: "cooperative".to_string(),
             scale: SimScale::small(),
             llc: None,
@@ -144,9 +190,29 @@ impl Default for SystemBuilder {
 }
 
 impl SystemBuilder {
-    /// One benchmark per core (required).
+    /// The workload by spec string (required unless
+    /// [`SystemBuilder::cores`] or [`SystemBuilder::workload_resolved`]
+    /// is used): a named group (`"G2-1"`), an ad-hoc mix
+    /// (`"soplex,namd"`), or a trace file (`"trace:path.ctrace"`) —
+    /// resolved through [`crate::workload_registry`] at build time.
+    pub fn workload(mut self, spec: impl Into<String>) -> Self {
+        self.workload = Some(WorkloadInput::Spec(spec.into()));
+        self
+    }
+
+    /// An already-resolved workload (sweeps resolve a spec once and reuse
+    /// it across runs).
+    pub fn workload_resolved(mut self, workload: ResolvedWorkload) -> Self {
+        self.workload = Some(WorkloadInput::Resolved(workload));
+        self
+    }
+
+    /// One benchmark per core (typed legacy shim over
+    /// [`SystemBuilder::workload`]).
     pub fn cores(mut self, benchmarks: Vec<Benchmark>) -> Self {
-        self.benchmarks = benchmarks;
+        self.workload = Some(WorkloadInput::Resolved(ResolvedWorkload::from_benchmarks(
+            &benchmarks,
+        )));
         self
     }
 
@@ -206,11 +272,17 @@ impl SystemBuilder {
         self
     }
 
-    /// Builds the system, or reports an unknown policy name (the error
-    /// lists every registered policy).
-    pub fn try_build(self) -> Result<System, coop_core::UnknownPolicy> {
-        let n = self.benchmarks.len();
-        assert!(n >= 1, "SystemBuilder::cores was not called");
+    /// Builds the system, or reports an unresolvable policy name or
+    /// workload spec (either error lists what is registered).
+    pub fn try_build(self) -> Result<System, BuildError> {
+        let workload = match self
+            .workload
+            .expect("SystemBuilder::workload (or ::cores) was not called")
+        {
+            WorkloadInput::Spec(spec) => crate::workload_registry().resolve(&spec)?,
+            WorkloadInput::Resolved(w) => w,
+        };
+        let n = workload.cores();
         let registry = crate::policies::policy_registry();
         let canonical = registry
             .resolve(&self.policy)
@@ -244,7 +316,7 @@ impl SystemBuilder {
             }
         });
         let cfg = SystemConfig {
-            benchmarks: self.benchmarks,
+            benchmarks: Vec::new(),
             llc,
             core: self.core,
             dram: self.dram,
@@ -253,15 +325,15 @@ impl SystemBuilder {
             core_power,
             dvfs: None,
         };
-        Ok(System::assemble(cfg, policy))
+        Ok(System::assemble(cfg, policy, workload))
     }
 
     /// Builds the system.
     ///
     /// # Panics
     ///
-    /// Panics on an unknown policy name; use
-    /// [`SystemBuilder::try_build`] to handle that gracefully.
+    /// Panics on an unknown policy name or an unresolvable workload
+    /// spec; use [`SystemBuilder::try_build`] to handle those gracefully.
     pub fn build(self) -> System {
         self.try_build().unwrap_or_else(|e| panic!("{e}"))
     }
@@ -275,6 +347,9 @@ pub struct RunResult {
     pub policy: String,
     /// Human label of the policy (paper legend).
     pub label: String,
+    /// Label of the resolved workload that ran (group name, mix, or
+    /// trace spec).
+    pub workload: String,
     /// Per-core IPC over each core's own measurement window.
     pub ipc: Vec<f64>,
     /// Per-core LLC misses per kilo-instruction.
@@ -352,6 +427,8 @@ pub struct System {
     now: Cycle,
     /// The allocation policy driving the epochs.
     policy: Box<dyn PartitionPolicy>,
+    /// Label of the workload on the cores (reported in `RunResult`).
+    workload_label: String,
     /// Sum of per-core way targets over measured epochs + the epoch count
     /// (for `RunResult::avg_ways_owned`).
     way_occupancy: (Vec<u64>, u64),
@@ -399,19 +476,25 @@ impl System {
             }
             None => policy_for_scheme(cfg.llc.scheme, &cfg.llc),
         };
-        System::assemble(cfg, policy)
+        let workload = ResolvedWorkload::from_benchmarks(&cfg.benchmarks);
+        System::assemble(cfg, policy, workload)
     }
 
-    /// Assembles cores, the enforcement mechanism and DRAM around `policy`.
-    fn assemble(cfg: SystemConfig, policy: Box<dyn PartitionPolicy>) -> System {
-        let n = cfg.benchmarks.len();
-        let cores = cfg
-            .benchmarks
+    /// Assembles cores, the enforcement mechanism and DRAM around
+    /// `policy`, with one `workload` member feeding each core.
+    fn assemble(
+        cfg: SystemConfig,
+        policy: Box<dyn PartitionPolicy>,
+        workload: ResolvedWorkload,
+    ) -> System {
+        let n = workload.cores();
+        let cores = workload
+            .members
             .iter()
             .enumerate()
-            .map(|(i, b)| {
-                let source = SyntheticSource::new(b.model(), cfg.seed ^ ((i as u64) << 32));
-                Core::new(CoreId(i as u8), cfg.core, Box::new(source))
+            .map(|(i, m)| {
+                let source = m.source(cfg.seed ^ ((i as u64) << 32));
+                Core::new(CoreId(i as u8), cfg.core, source)
             })
             .collect();
         System {
@@ -420,6 +503,7 @@ impl System {
             dram: Dram::new(cfg.dram),
             now: Cycle::ZERO,
             policy,
+            workload_label: workload.label,
             way_occupancy: (vec![0; n], 0),
             measuring: false,
             cfg,
@@ -596,6 +680,7 @@ impl System {
         RunResult {
             policy: self.policy.name().to_string(),
             label: self.policy.label().to_string(),
+            workload: self.workload_label.clone(),
             ipc,
             mpki,
             apki,

@@ -1,4 +1,5 @@
-//! Equivalence guard for the policy/mechanism redesign.
+//! Equivalence guard for the policy/mechanism redesign *and* the workload
+//! API redesign.
 //!
 //! The golden values below were captured from the *pre-redesign* code
 //! (commit `8c64b33`, where `PartitionedLlc` matched on `SchemeKind` in its
@@ -7,12 +8,18 @@
 //! registry-built `PartitionPolicy` objects feeding
 //! `PartitionedLlc::apply_decision` through the `SystemBuilder` — must
 //! reproduce them *bit-identically*: every count as an exact integer, every
-//! IPC/energy figure as an exact IEEE-754 double. Any drift means the
+//! IPC/energy figure as an exact IEEE-754 double. Any drift means a
 //! redesign changed behavior, not just structure.
+//!
+//! Since the workload redesign (PR 4), G2-1 reaches the system through
+//! `workload_registry().resolve("G2-1")` — factory-built instruction
+//! sources instead of a hardcoded `Vec<Benchmark>` — so this suite also
+//! pins the string-keyed workload path to the same goldens, via both
+//! `run_group` and the `SystemBuilder::workload` spec entry point.
 
 use harness::experiments::run_group;
-use harness::SimScale;
-use workloads::two_core_groups;
+use harness::{workload_registry, SimScale, System};
+use workloads::ResolvedWorkload;
 
 struct Golden {
     policy: &'static str,
@@ -100,45 +107,73 @@ const GOLDENS: [Golden; 5] = [
     },
 ];
 
+fn check(golden: &Golden, r: &harness::RunResult) {
+    let p = golden.policy;
+    assert_eq!(r.policy, p);
+    assert_eq!(r.workload, "G2-1", "{p}: workload label");
+    assert_eq!(r.ipc, golden.ipc.to_vec(), "{p}: ipc");
+    assert_eq!(r.mpki, golden.mpki.to_vec(), "{p}: mpki");
+    let c = &r.counts;
+    let measured = [
+        c.tag_way_probes,
+        c.data_reads,
+        c.data_writes,
+        c.umon_probes,
+        c.vector_accesses,
+        c.on_way_cycles,
+        c.gated_way_cycles,
+        c.total_cycles,
+    ];
+    assert_eq!(measured, golden.counts, "{p}: energy-event counts");
+    assert_eq!(
+        [r.energy.dynamic_nj, r.energy.data_nj, r.energy.static_nj],
+        golden.energy,
+        "{p}: LLC energy"
+    );
+    assert_eq!(
+        [r.core_energy.dynamic_nj, r.core_energy.static_nj],
+        golden.core_energy,
+        "{p}: core energy"
+    );
+    assert_eq!(r.cycles, golden.cycles, "{p}: window cycles");
+    assert_eq!(r.avg_ways, golden.avg_ways, "{p}: avg ways consulted");
+    assert_eq!(r.flush_lines, golden.flush_lines, "{p}: flush lines");
+    assert_eq!(r.repartitions, golden.repartitions, "{p}: repartitions");
+    assert_eq!(
+        r.takeover_events, golden.takeover_events,
+        "{p}: takeover events"
+    );
+}
+
+/// The registry-resolved G2-1 (the entry point every sweep now uses).
+fn g2_1() -> ResolvedWorkload {
+    let w = workload_registry().resolve("G2-1").expect("registered");
+    assert_eq!(w.member_names(), vec!["soplex", "namd"]);
+    w
+}
+
 #[test]
 fn trait_dispatch_reproduces_pre_redesign_goldens_bit_identically() {
-    let group = &two_core_groups()[0];
-    assert_eq!(group.name, "G2-1", "goldens were captured on G2-1");
+    let group = g2_1();
     for golden in &GOLDENS {
-        let r = run_group(group, golden.policy, SimScale::quick());
-        let p = golden.policy;
-        assert_eq!(r.policy, p);
-        assert_eq!(r.ipc, golden.ipc.to_vec(), "{p}: ipc");
-        assert_eq!(r.mpki, golden.mpki.to_vec(), "{p}: mpki");
-        let c = &r.counts;
-        let measured = [
-            c.tag_way_probes,
-            c.data_reads,
-            c.data_writes,
-            c.umon_probes,
-            c.vector_accesses,
-            c.on_way_cycles,
-            c.gated_way_cycles,
-            c.total_cycles,
-        ];
-        assert_eq!(measured, golden.counts, "{p}: energy-event counts");
-        assert_eq!(
-            [r.energy.dynamic_nj, r.energy.data_nj, r.energy.static_nj],
-            golden.energy,
-            "{p}: LLC energy"
-        );
-        assert_eq!(
-            [r.core_energy.dynamic_nj, r.core_energy.static_nj],
-            golden.core_energy,
-            "{p}: core energy"
-        );
-        assert_eq!(r.cycles, golden.cycles, "{p}: window cycles");
-        assert_eq!(r.avg_ways, golden.avg_ways, "{p}: avg ways consulted");
-        assert_eq!(r.flush_lines, golden.flush_lines, "{p}: flush lines");
-        assert_eq!(r.repartitions, golden.repartitions, "{p}: repartitions");
-        assert_eq!(
-            r.takeover_events, golden.takeover_events,
-            "{p}: takeover events"
-        );
+        let r = run_group(&group, golden.policy, SimScale::quick());
+        check(golden, &r);
+    }
+}
+
+#[test]
+fn workload_spec_path_reproduces_the_same_goldens_bit_identically() {
+    // `System::builder().workload("G2-1")` — resolution inside the builder
+    // itself — must match the pre-redesign goldens too. (The CPE policy
+    // needs its solo profile installed by `run_group`, so the pure-builder
+    // path covers the other four.)
+    for golden in GOLDENS.iter().filter(|g| g.policy != "cpe") {
+        let r = System::builder()
+            .workload("G2-1")
+            .policy(golden.policy)
+            .scale(SimScale::quick())
+            .build()
+            .run();
+        check(golden, &r);
     }
 }

@@ -95,6 +95,79 @@ fn inspect_dvfs_run_reports_frequencies() {
     );
 }
 
+fn fixture_spec() -> String {
+    format!(
+        "trace:{}/tests/fixtures/stream_hot.ctrace",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+#[test]
+fn inspect_trace_workload_run_exits_zero() {
+    let out = run(
+        env!("CARGO_BIN_EXE_inspect"),
+        &[],
+        &[("EPOCHS", "2"), ("WORKLOAD", &fixture_spec())],
+    );
+    assert_ok("inspect (WORKLOAD=trace:...)", &out);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("stream_hot.ctrace") && text.contains("e0"),
+        "trace epoch report missing: {text}"
+    );
+}
+
+#[test]
+fn inspect_rejects_unknown_workloads_listing_registered_specs() {
+    let out = run(
+        env!("CARGO_BIN_EXE_inspect"),
+        &[],
+        &[("WORKLOAD", "not-a-workload")],
+    );
+    assert!(!out.status.success(), "unknown workload must not exit 0");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("not-a-workload") && text.contains("G2-1") && text.contains("soplex"),
+        "error must list registered specs: {text}"
+    );
+}
+
+#[test]
+fn repro_rejects_unknown_groups_listing_registered_ones() {
+    let out = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &["fig5", "--group", "G9-1"],
+        &[],
+    );
+    assert!(!out.status.success(), "unknown group must not exit 0");
+    let text = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        text.contains("G9-1") && text.contains("G2-1") && text.contains("G8-6"),
+        "error must list registered groups: {text}"
+    );
+}
+
+#[test]
+fn repro_json_writes_machine_readable_tables() {
+    let dir = std::env::temp_dir().join(format!("repro-json-{}", std::process::id()));
+    let dir_s = dir.to_str().expect("utf-8 temp dir");
+    let out = run(
+        env!("CARGO_BIN_EXE_repro"),
+        &["table4", "--json", dir_s, "--csv", dir_s],
+        &[],
+    );
+    assert_ok("repro table4 --json", &out);
+    let json = std::fs::read_to_string(dir.join("table4.json")).expect("json written");
+    assert!(json.starts_with("{\"id\":\"Table 4\""), "{json}");
+    assert!(
+        json.contains("\"headers\":") && json.contains("\"rows\":"),
+        "{json}"
+    );
+    assert!(json.contains("\"notes\":"), "{json}");
+    assert!(dir.join("table4.csv").exists(), "csv twin still written");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 #[test]
 fn repro_rejects_bad_slacks() {
     let out = run(

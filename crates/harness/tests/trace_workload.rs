@@ -1,0 +1,112 @@
+//! End-to-end trace-file workloads: a `.ctrace` fixture resolved through
+//! the workload registry runs through `System::builder().workload(...)`
+//! like any synthetic benchmark — solo, in a mix beside a synthetic
+//! model, and under several policies — and unknown specs come back as
+//! errors that list what is registered.
+
+use harness::{workload_registry, SimScale, System};
+
+fn fixture() -> String {
+    format!(
+        "{}/tests/fixtures/stream_hot.ctrace",
+        env!("CARGO_MANIFEST_DIR")
+    )
+}
+
+fn quick() -> SimScale {
+    SimScale {
+        name: "trace-test",
+        warmup_instrs: 20_000,
+        instrs_per_app: 60_000,
+        epoch_cycles: 20_000,
+        max_cycles: 80_000_000,
+    }
+}
+
+#[test]
+fn trace_workload_runs_end_to_end_solo() {
+    let spec = format!("trace:{}", fixture());
+    let r = System::builder()
+        .workload(&spec)
+        .policy("cooperative")
+        .scale(quick())
+        .build()
+        .run();
+    assert_eq!(r.workload, spec, "run reports the resolved spec");
+    assert_eq!(r.ipc.len(), 1);
+    assert!(r.ipc[0] > 0.05 && r.ipc[0] < 4.0, "{:?}", r.ipc);
+    // The fixture streams through 2048 + 1024 cold lines per pass and
+    // rewinds: the LLC must see real miss traffic.
+    assert!(r.mpki[0] > 0.5, "streaming trace misses: {:?}", r.mpki);
+    assert!(r.counts.tag_way_probes > 0);
+}
+
+#[test]
+fn trace_joins_a_mix_with_synthetic_models() {
+    let spec = format!("namd,trace:{}", fixture());
+    let r = System::builder()
+        .workload(&spec)
+        .policy("ucp")
+        .scale(quick())
+        .build()
+        .run();
+    assert_eq!(r.ipc.len(), 2);
+    assert!(
+        r.mpki[1] > r.mpki[0],
+        "the trace core misses more than namd: {:?}",
+        r.mpki
+    );
+}
+
+#[test]
+fn trace_runs_are_deterministic() {
+    let spec = format!("trace:{}", fixture());
+    let mk = || {
+        System::builder()
+            .workload(&spec)
+            .policy("cooperative")
+            .scale(quick())
+            .build()
+            .run()
+    };
+    let a = mk();
+    let b = mk();
+    assert_eq!(a.ipc, b.ipc);
+    assert_eq!(a.counts, b.counts);
+}
+
+#[test]
+fn unknown_workloads_error_with_the_registered_list() {
+    let err = System::builder()
+        .workload("not-a-benchmark")
+        .policy("ucp")
+        .scale(quick())
+        .try_build()
+        .err()
+        .expect("unknown workload must not build");
+    let msg = err.to_string();
+    assert!(msg.contains("not-a-benchmark"), "{msg}");
+    assert!(msg.contains("G2-1") && msg.contains("soplex"), "{msg}");
+    assert!(msg.contains("trace:"), "{msg}");
+}
+
+#[test]
+fn missing_trace_files_error_at_build_time() {
+    let err = System::builder()
+        .workload("trace:/no/such/file.ctrace")
+        .policy("ucp")
+        .scale(quick())
+        .try_build()
+        .err()
+        .expect("missing trace must not build");
+    assert!(err.to_string().contains("/no/such/file.ctrace"));
+}
+
+#[test]
+fn registry_specs_and_builder_agree_on_labels() {
+    let w = workload_registry()
+        .resolve(&format!("trace:{}", fixture()))
+        .expect("fixture resolves");
+    assert_eq!(w.cores(), 1);
+    assert!(w.label.ends_with("stream_hot.ctrace"));
+}

@@ -82,6 +82,44 @@ pub fn four_core_groups() -> Vec<WorkloadGroup> {
     ]
 }
 
+/// Eight-core extension groups (beyond the paper, which stops at four
+/// cores; the takeover bit-vector and permission-file structures support
+/// eight). Built from the same 19 models following the paper's Section 3.2
+/// recipe: every group carries at least one high-MPKI (> 5) application,
+/// and the mixes span streaming-heavy, medium working-set, code-footprint
+/// and mostly-cache-friendly compositions.
+pub fn eight_core_groups() -> Vec<WorkloadGroup> {
+    use Benchmark::*;
+    vec![
+        WorkloadGroup::new(
+            "G8-1",
+            &[Lbm, Soplex, Gobmk, Sjeng, Namd, Povray, Gromacs, Omnetpp],
+        ),
+        WorkloadGroup::new(
+            "G8-2",
+            &[Soplex, Gcc, Astar, Bzip2, Mcf, Perlbench, H264ref, DealII],
+        ),
+        WorkloadGroup::new(
+            "G8-3",
+            &[
+                Lbm, Libquantum, Milc, Calculix, Xalan, Namd, Povray, Gromacs,
+            ],
+        ),
+        WorkloadGroup::new(
+            "G8-4",
+            &[Gobmk, Sjeng, Perlbench, Xalan, Gcc, Omnetpp, H264ref, Namd],
+        ),
+        WorkloadGroup::new(
+            "G8-5",
+            &[Lbm, Soplex, Mcf, Libquantum, Astar, Bzip2, Gcc, Calculix],
+        ),
+        WorkloadGroup::new(
+            "G8-6",
+            &[Sjeng, Gobmk, Milc, DealII, Povray, Omnetpp, Gromacs, Namd],
+        ),
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -90,6 +128,26 @@ mod tests {
     fn fourteen_groups_each() {
         assert_eq!(two_core_groups().len(), 14);
         assert_eq!(four_core_groups().len(), 14);
+    }
+
+    #[test]
+    fn eight_core_groups_are_well_formed() {
+        let groups = eight_core_groups();
+        assert_eq!(groups.len(), 6);
+        for g in &groups {
+            assert_eq!(g.cores(), 8, "{}", g.name);
+            assert!(g.name.starts_with("G8-"), "{}", g.name);
+            assert!(
+                g.benchmarks.iter().any(|b| b.paper_mpki() > 5.0),
+                "{} lacks a high-MPKI member",
+                g.name
+            );
+            // No duplicate applications within a group.
+            let mut seen = g.benchmarks.clone();
+            seen.sort();
+            seen.dedup();
+            assert_eq!(seen.len(), 8, "{} repeats a benchmark", g.name);
+        }
     }
 
     #[test]

@@ -20,15 +20,26 @@
 //!
 //! [`generator::SyntheticSource`] turns a model into an infinite
 //! deterministic instruction stream implementing `cpusim::InstrSource`.
+//!
+//! Beyond the synthetic models, the crate hosts the *workload API*: every
+//! runnable workload — synthetic model or `.ctrace` trace file — is a
+//! named [`WorkloadFactory`] ([`source`]), and a string-keyed
+//! [`WorkloadRegistry`] ([`registry`]) resolves workload specs
+//! (`"G2-1"`, `"soplex,namd,lbm,astar"`, `"trace:path/file.ctrace"`) to a
+//! [`ResolvedWorkload`] with one factory per core.
 
 pub mod classify;
 pub mod generator;
 pub mod groups;
 pub mod model;
+pub mod registry;
+pub mod source;
 pub mod spec;
 
 pub use classify::{classify_mpki, MpkiClass};
 pub use generator::SyntheticSource;
-pub use groups::{four_core_groups, two_core_groups, WorkloadGroup};
+pub use groups::{eight_core_groups, four_core_groups, two_core_groups, WorkloadGroup};
 pub use model::{BenchmarkModel, Component, Pattern, Phase};
+pub use registry::{ResolvedWorkload, WorkloadError, WorkloadRegistry, MAX_CORES, TRACE_PREFIX};
+pub use source::{SyntheticWorkload, TraceWorkload, WorkloadFactory, WorkloadSource};
 pub use spec::Benchmark;

@@ -1,0 +1,160 @@
+//! The workload-source abstraction: anything that can stream instructions
+//! into a core, behind one factory trait.
+//!
+//! A [`WorkloadFactory`] is a *named, reusable recipe* for one core's
+//! instruction stream — instantiating it any number of times (with
+//! different seeds) yields independent [`WorkloadSource`]s. The two
+//! built-in factories are [`SyntheticWorkload`] (one of the 19 generative
+//! SPEC models) and [`TraceWorkload`] (a parsed `.ctrace` file replayed
+//! with rewind-on-exhaustion). Downstream crates add new workload kinds by
+//! implementing the trait and registering the factory in a
+//! [`crate::WorkloadRegistry`] — no harness edits required, mirroring how
+//! `PartitionPolicy` objects plug into the policy registry.
+
+use std::sync::Arc;
+
+use cpusim::trace::TraceSource;
+use cpusim::{Instr, InstrSource};
+
+use crate::generator::SyntheticSource;
+use crate::spec::Benchmark;
+
+/// A ready-to-run instruction stream for one core.
+pub type WorkloadSource = Box<dyn InstrSource + Send>;
+
+/// A named recipe producing per-core instruction streams.
+pub trait WorkloadFactory: Send + Sync {
+    /// Registry key / display name (e.g. `"soplex"`, `"trace:foo.ctrace"`).
+    fn name(&self) -> &str;
+
+    /// One-line description for listings.
+    fn summary(&self) -> String;
+
+    /// Instantiates a fresh stream. `seed` decorrelates random components
+    /// across cores while keeping runs reproducible; deterministic sources
+    /// (e.g. traces) may ignore it.
+    fn source(&self, seed: u64) -> WorkloadSource;
+}
+
+/// Factory for one of the 19 synthetic SPEC CPU2006 benchmark models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyntheticWorkload {
+    benchmark: Benchmark,
+}
+
+impl SyntheticWorkload {
+    /// Wraps a benchmark model.
+    pub fn new(benchmark: Benchmark) -> SyntheticWorkload {
+        SyntheticWorkload { benchmark }
+    }
+
+    /// The benchmark behind this factory.
+    pub fn benchmark(&self) -> Benchmark {
+        self.benchmark
+    }
+}
+
+impl WorkloadFactory for SyntheticWorkload {
+    fn name(&self) -> &str {
+        self.benchmark.name()
+    }
+
+    fn summary(&self) -> String {
+        format!(
+            "synthetic SPEC model (paper MPKI {:.2})",
+            self.benchmark.paper_mpki()
+        )
+    }
+
+    fn source(&self, seed: u64) -> WorkloadSource {
+        Box::new(SyntheticSource::new(self.benchmark.model(), seed))
+    }
+}
+
+/// Factory replaying a parsed `.ctrace` instruction trace (see
+/// `cpusim::trace` for the file format). The record sequence is shared
+/// across instances; each source rewinds to the first record on
+/// exhaustion, so the stream is infinite.
+#[derive(Debug, Clone)]
+pub struct TraceWorkload {
+    name: String,
+    instrs: Arc<Vec<Instr>>,
+}
+
+impl TraceWorkload {
+    /// Wraps an already-parsed record sequence under `name`
+    /// (conventionally `"trace:<path>"`).
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty sequence — validate with
+    /// `cpusim::trace::parse_trace` first, which rejects empty traces.
+    pub fn new(name: impl Into<String>, instrs: Vec<Instr>) -> TraceWorkload {
+        assert!(!instrs.is_empty(), "a trace workload needs >= 1 record");
+        TraceWorkload {
+            name: name.into(),
+            instrs: Arc::new(instrs),
+        }
+    }
+
+    /// Records in one pass of the trace.
+    pub fn len(&self) -> usize {
+        self.instrs.len()
+    }
+
+    /// Always false: construction rejects empty traces.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+impl WorkloadFactory for TraceWorkload {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn summary(&self) -> String {
+        format!("trace replay, {} records/pass (rewinds)", self.instrs.len())
+    }
+
+    fn source(&self, _seed: u64) -> WorkloadSource {
+        Box::new(TraceSource::new(Arc::clone(&self.instrs)).expect("non-empty by construction"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn synthetic_factory_matches_direct_construction() {
+        let f = SyntheticWorkload::new(Benchmark::Soplex);
+        assert_eq!(f.name(), "soplex");
+        assert_eq!(f.benchmark(), Benchmark::Soplex);
+        let mut via_factory = f.source(0x5EED);
+        let mut direct = SyntheticSource::new(Benchmark::Soplex.model(), 0x5EED);
+        for _ in 0..500 {
+            assert_eq!(via_factory.next_instr(), direct.next_instr());
+        }
+    }
+
+    #[test]
+    fn trace_factory_replays_and_rewinds() {
+        let records = vec![Instr::load(0x400, 0x1000), Instr::alu(0x404)];
+        let f = TraceWorkload::new("trace:mini", records.clone());
+        assert_eq!(f.len(), 2);
+        assert!(!f.is_empty());
+        assert!(f.summary().contains("2 records"));
+        let mut src = f.source(123);
+        for _ in 0..3 {
+            assert_eq!(src.next_instr(), records[0]);
+            assert_eq!(src.next_instr(), records[1]);
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_trace_factory_panics() {
+        TraceWorkload::new("trace:empty", Vec::new());
+    }
+}
