@@ -1,0 +1,137 @@
+//! Hot-path kernels: the per-access storage layer that dominates simulation
+//! runtime.
+//!
+//! Two kernels bracket the flattened-arena work (see BENCH_5.json for the
+//! recorded before/after trajectory):
+//!
+//! * `llc_access_stream_2core_16way` — end-to-end demand-access throughput
+//!   through `PartitionedLlc::access` (permission masks, set find/touch,
+//!   UMON observation, victim/fill) backed by the banked-DRAM stub;
+//! * `cacheset_touch_find_16way` — the set-storage primitive alone (the
+//!   production [`memsim::SetArena`]): masked find/touch on hits,
+//!   victim/fill on misses, alternating full and half way masks;
+//! * `cacheset_reference_16way` — the same op stream through the reference
+//!   `CacheSet`, so the flattening stays *measured*, not asserted.
+//!
+//! Run with `cargo bench -p bench --bench hotpath`. The numbers are
+//! ns per 1000 operations (each `iter` performs 1000 accesses).
+
+use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+use criterion::{criterion_group, criterion_main, Criterion};
+use memsim::{CacheGeometry, CacheSet, Dram, DramConfig, SetArena, WayMask};
+use simkit::types::{CoreId, Cycle, LineAddr};
+
+fn lcg(state: &mut u64) -> u64 {
+    *state = state
+        .wrapping_mul(6364136223846793005)
+        .wrapping_add(1442695040888963407);
+    *state >> 11
+}
+
+fn bench_hotpath(c: &mut Criterion) {
+    // Kernel 1: end-to-end demand accesses through the partitioned LLC.
+    // ~7/8 of the stream walks a hot window (hits after warm-up), the rest
+    // streams cold lines (misses, victims, fills, DRAM timing).
+    c.bench_function("llc_access_stream_2core_16way", |b| {
+        let cfg = LlcConfig {
+            geom: CacheGeometry::new(4 << 20, 16, 64),
+            hit_latency: 20,
+            mshrs: 128,
+            scheme: SchemeKind::Cooperative,
+            epoch_cycles: 5_000_000,
+            threshold: 0.03,
+            umon_shift: 4,
+            seed: 0xC0FFEE,
+            transition_timeout_epochs: 1,
+        };
+        let mut llc = PartitionedLlc::new(cfg, 2);
+        let mut dram = Dram::new(DramConfig::default());
+        let mut now = 0u64;
+        let mut state = 0x5EED_0BAD_u64;
+        let mut burst = |llc: &mut PartitionedLlc, dram: &mut Dram| {
+            let mut last = Cycle(0);
+            for _ in 0..1000 {
+                let r = lcg(&mut state);
+                let core = CoreId((r & 1) as u8);
+                let byte = if r & 0b1110 != 0 {
+                    (r >> 4) % (512 * 64)
+                } else {
+                    ((r >> 4) % (64 << 20)) | (1 << 30)
+                };
+                now += 2;
+                last = llc.access(
+                    Cycle(now),
+                    core,
+                    LineAddr::from_byte_addr(core, byte, 64),
+                    r & 0x10 != 0,
+                    dram,
+                );
+            }
+            last
+        };
+        // Warm the hot window and the host's own caches so the timing loop
+        // (and its batch-size calibration) measures steady state.
+        for _ in 0..50 {
+            burst(&mut llc, &mut dram);
+        }
+        b.iter(|| burst(&mut llc, &mut dram))
+    });
+
+    // Kernel 2: the production set-storage primitive alone (one 16-way set
+    // of a SetArena).
+    c.bench_function("cacheset_touch_find_16way", |b| {
+        let mut arena = SetArena::new(1, 16);
+        let masks = [WayMask::all(16), WayMask(0x00FF)];
+        let mut state = 0xFEED_u64;
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1000usize {
+                let tag = lcg(&mut state) % 24;
+                let mask = masks[i & 1];
+                match arena.find(0, tag, mask) {
+                    Some(w) => {
+                        arena.touch(0, w);
+                        hits += 1;
+                    }
+                    None => {
+                        let v = arena.victim(0, mask).expect("non-empty mask");
+                        arena.fill(0, v, tag, CoreId((i & 1) as u8), tag & 1 == 1);
+                    }
+                }
+            }
+            hits
+        })
+    });
+
+    // Kernel 3: the identical op stream through the reference CacheSet.
+    c.bench_function("cacheset_reference_16way", |b| {
+        let mut set = CacheSet::new(16);
+        let masks = [WayMask::all(16), WayMask(0x00FF)];
+        let mut state = 0xFEED_u64;
+        b.iter(|| {
+            let mut hits = 0u64;
+            for i in 0..1000usize {
+                let tag = lcg(&mut state) % 24;
+                let mask = masks[i & 1];
+                match set.find(tag, mask) {
+                    Some(w) => {
+                        set.touch(w);
+                        hits += 1;
+                    }
+                    None => {
+                        let v = set.victim(mask).expect("non-empty mask");
+                        set.fill(v, tag, CoreId((i & 1) as u8), tag & 1 == 1);
+                    }
+                }
+            }
+            hits
+        })
+    });
+}
+
+criterion_group! {
+    name = hotpath;
+    config = Criterion::default().sample_size(40);
+    targets = bench_hotpath
+}
+criterion_main!(hotpath);

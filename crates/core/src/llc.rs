@@ -25,7 +25,7 @@
 //! completion cycle, going through the LLC MSHRs and the banked DRAM.
 
 use memsim::mshr::MshrOutcome;
-use memsim::{CacheSet, Dram, MshrFile, WayMask};
+use memsim::{Dram, MshrFile, SetArena, WayMask};
 use simkit::types::{CoreId, Cycle, LineAddr};
 use simkit::DetRng;
 
@@ -51,8 +51,14 @@ pub struct PartitionedLlc {
     cfg: LlcConfig,
     cores: usize,
     mode: EnforcementMode,
-    umon_enabled: bool,
-    sets: Vec<CacheSet>,
+    /// Set-sampling filter folded out of the access path: an access to
+    /// `set_idx` reaches the monitors iff
+    /// `set_idx & umon_select == umon_residue`. With monitoring disabled
+    /// the residue is unsatisfiable, so the whole UMON branch costs one
+    /// always-false compare.
+    umon_select: usize,
+    umon_residue: usize,
+    sets: SetArena,
     all_ways: WayMask,
     perms: PermissionFile,
     power: WayPower,
@@ -137,12 +143,22 @@ impl PartitionedLlc {
             }
         }
         let bucket = (cfg.epoch_cycles / 10).max(1);
+        // Fold `umon_enabled` into the sampling filter (see the field docs).
+        let (umon_select, umon_residue) = if umon_enabled {
+            (
+                (1usize << cfg.umon_shift) - 1,
+                (1usize << cfg.umon_shift) / 2,
+            )
+        } else {
+            (0, usize::MAX)
+        };
         PartitionedLlc {
             cfg,
             cores,
             mode,
-            umon_enabled,
-            sets: (0..sets).map(|_| CacheSet::new(ways)).collect(),
+            umon_select,
+            umon_residue,
+            sets: SetArena::new(sets, ways),
             all_ways: WayMask::all(ways),
             perms,
             power: WayPower::new(ways),
@@ -302,14 +318,17 @@ impl PartitionedLlc {
 
         let probe = self.probe_mask(core);
         debug_assert!(!probe.is_empty(), "a core always owns at least one way");
-        self.energy.tag_way_probes += probe.count() as u64;
-        self.demand_ways_consulted += probe.count() as u64;
+        let probed = probe.count() as u64;
+        self.energy.tag_way_probes += probed;
+        self.demand_ways_consulted += probed;
 
-        if self.umon_enabled && self.umons[core.index()].observe(set_idx, tag) {
+        if set_idx & self.umon_select == self.umon_residue
+            && self.umons[core.index()].observe(set_idx, tag)
+        {
             self.energy.umon_probes += 1;
         }
 
-        let mut hit_way = self.sets[set_idx].find(tag, probe);
+        let mut hit_way = self.sets.find(set_idx, tag, probe);
         if is_write {
             if let Some(w) = hit_way {
                 if !self.write_allowed(core, w) {
@@ -328,12 +347,9 @@ impl PartitionedLlc {
         }
 
         if let Some(w) = hit_way {
-            self.sets[set_idx].touch(w);
+            self.sets.touch(set_idx, w);
             if is_write {
-                let l = self.sets[set_idx].line_mut(w);
-                if l.valid {
-                    l.dirty = true;
-                }
+                self.sets.mark_dirty(set_idx, w);
                 self.energy.data_writes += 1;
             } else {
                 self.energy.data_reads += 1;
@@ -352,7 +368,7 @@ impl PartitionedLlc {
         }
 
         let way = self.choose_victim(core, set_idx);
-        let prev = self.sets[set_idx].fill(way, tag, core, is_write);
+        let prev = self.sets.fill(set_idx, way, tag, core, is_write);
         if prev.valid {
             let stolen = prev.owner != core;
             if prev.dirty {
@@ -385,16 +401,16 @@ impl PartitionedLlc {
         let tag = self.cfg.geom.tag(line);
         let probe = self.probe_mask(core);
         self.energy.tag_way_probes += probe.count() as u64;
-        if let Some(w) = self.sets[set_idx].find(tag, probe) {
+        if let Some(w) = self.sets.find(set_idx, tag, probe) {
             if self.write_allowed(core, w) {
-                self.sets[set_idx].touch(w);
-                self.sets[set_idx].line_mut(w).dirty = true;
+                self.sets.touch(set_idx, w);
+                self.sets.mark_dirty(set_idx, w);
                 self.energy.data_writes += 1;
                 return;
             }
             // Resident in a way we may no longer write: drop the stale copy
             // and send the fresh data to memory.
-            self.sets[set_idx].invalidate(w);
+            self.sets.invalidate(set_idx, w);
         }
         dram.write(now, line);
         self.stats.writebacks.inc();
@@ -669,6 +685,10 @@ impl PartitionedLlc {
 
     /// Per-access cooperative-takeover work (paper Section 2.3): flush the
     /// donor's dirty data in moving ways and record the set visit.
+    ///
+    /// The in-flight snapshots live in fixed stack buffers — at most one
+    /// transition exists per way (64 max), and this runs on *every* access
+    /// while a transfer is active, so no heap allocation is tolerable here.
     fn takeover_hooks(
         &mut self,
         now: Cycle,
@@ -678,9 +698,14 @@ impl PartitionedLlc {
         dram: &mut Dram,
     ) {
         // Donor role.
-        let donating: Vec<usize> = self.take.donating_ways(core).collect();
-        if !donating.is_empty() && !self.take.bit(core, set_idx) {
-            for &w in &donating {
+        let mut donating = [0usize; 64];
+        let mut nd = 0;
+        for w in self.take.donating_ways(core) {
+            donating[nd] = w;
+            nd += 1;
+        }
+        if nd > 0 && !self.take.bit(core, set_idx) {
+            for &w in &donating[..nd] {
                 self.flush_owned_line(now, set_idx, w, core, dram);
             }
             let kind = if hit {
@@ -693,8 +718,13 @@ impl PartitionedLlc {
             self.complete_transitions(now, out.completed);
         }
         // Recipient role (marks the donor's vector).
-        let receiving: Vec<(usize, CoreId)> = self.take.receiving_ways(core).collect();
-        for (w, donor) in receiving {
+        let mut receiving = [(0usize, CoreId(0)); 64];
+        let mut nr = 0;
+        for pair in self.take.receiving_ways(core) {
+            receiving[nr] = pair;
+            nr += 1;
+        }
+        for &(w, donor) in &receiving[..nr] {
             if !self.take.bit(donor, set_idx) {
                 self.flush_owned_line(now, set_idx, w, donor, dram);
                 let kind = if hit {
@@ -749,14 +779,14 @@ impl PartitionedLlc {
             // re-purposes the way. This path is rare (paper Section 2.3).
             let done = self.take.force_complete(now, |t| t.way == way);
             for t in done {
-                for s in 0..self.sets.len() {
-                    let l = *self.sets[s].line(t.way);
+                for s in 0..self.sets.sets() {
+                    let l = self.sets.line(s, t.way);
                     if l.valid && l.owner == t.donor {
                         if l.dirty {
                             self.stats.writebacks.inc();
                             self.record_flush(now, 1);
                         }
-                        self.sets[s].invalidate(t.way);
+                        self.sets.invalidate(s, t.way);
                     }
                 }
                 self.perms.revoke_read(t.way, t.donor);
@@ -790,15 +820,16 @@ impl PartitionedLlc {
     /// Picks the way a miss by `core` fills in `set_idx`.
     fn choose_victim(&mut self, core: CoreId, set_idx: usize) -> usize {
         match self.mode {
-            EnforcementMode::None => self.sets[set_idx]
-                .victim(self.all_ways)
+            EnforcementMode::None => self
+                .sets
+                .victim(set_idx, self.all_ways)
                 .expect("all-ways mask is never empty"),
             EnforcementMode::LazyReplacement => self.ucp_victim(core, set_idx),
             EnforcementMode::ImmediateFlush | EnforcementMode::Takeover => {
                 let mask = self.perms.write_mask(core);
                 debug_assert!(!mask.is_empty());
-                self.sets[set_idx]
-                    .victim(mask)
+                self.sets
+                    .victim(set_idx, mask)
                     .expect("write mask is never empty")
             }
         }
@@ -807,52 +838,32 @@ impl PartitionedLlc {
     /// UCP's quota-driven victim selection: under-quota cores steal the LRU
     /// block of an over-quota core; otherwise a core recycles its own LRU.
     fn ucp_victim(&mut self, core: CoreId, set_idx: usize) -> usize {
-        let set = &self.sets[set_idx];
-        // Free (invalid) ways first.
-        if let Some(w) = (0..set.ways()).find(|&w| !set.line(w).valid) {
-            return w;
+        let ways = self.sets.ways();
+        // Free (invalid) ways first, lowest way index first.
+        let valid = self.sets.valid_mask(set_idx);
+        if valid.count_ones() as usize != ways {
+            return (!valid).trailing_zeros() as usize;
         }
-        let mut occupancy = vec![0usize; self.cores];
-        for w in 0..set.ways() {
-            let l = set.line(w);
-            if l.valid {
-                occupancy[l.owner.index()] += 1;
-            }
+        let mut occupancy = [0usize; 8];
+        for w in 0..ways {
+            occupancy[self.sets.line(set_idx, w).owner.index()] += 1;
         }
         let me = core.index();
         if occupancy[me] < self.ucp.quotas[me] {
             // Steal the LRU block of any over-quota core (rank 0 = LRU).
-            let mut victim = None;
-            for rank in 0..set.ways() {
-                let w = self.lru_order_way(set_idx, rank);
-                let l = self.sets[set_idx].line(w);
-                if l.valid {
-                    let o = l.owner.index();
-                    if o != me && occupancy[o] > self.ucp.quotas[o] {
-                        victim = Some(w);
-                        break;
-                    }
+            for rank in 0..ways {
+                let w = self.sets.way_at_lru_rank(set_idx, rank);
+                let o = self.sets.line(set_idx, w).owner.index();
+                if o != me && occupancy[o] > self.ucp.quotas[o] {
+                    return w;
                 }
-            }
-            if let Some(w) = victim {
-                return w;
             }
         }
         // Recycle own LRU, else global LRU.
-        self.sets[set_idx]
-            .victim_owned_by(self.all_ways, core)
-            .or_else(|| self.sets[set_idx].victim(self.all_ways))
+        self.sets
+            .victim_owned_by(set_idx, self.all_ways, core)
+            .or_else(|| self.sets.victim(set_idx, self.all_ways))
             .expect("nonempty mask")
-    }
-
-    /// The way at LRU-rank `rank_from_lru` (0 = LRU) in `set_idx`.
-    fn lru_order_way(&self, set_idx: usize, rank_from_lru: usize) -> usize {
-        let set = &self.sets[set_idx];
-        let ways = set.ways();
-        // recency_of: 0 = MRU, ways-1 = LRU.
-        (0..ways)
-            .find(|&w| set.recency_of(w) == ways - 1 - rank_from_lru)
-            .expect("complete recency order")
     }
 
     /// Flushes (write back if dirty) and invalidates the line in
@@ -866,7 +877,7 @@ impl PartitionedLlc {
         owner: CoreId,
         dram: &mut Dram,
     ) {
-        let l = *self.sets[set_idx].line(way);
+        let l = self.sets.line(set_idx, way);
         if l.valid && l.owner == owner {
             if l.dirty {
                 let line = self.cfg.geom.line_from(l.tag, set_idx);
@@ -874,7 +885,7 @@ impl PartitionedLlc {
                 self.stats.writebacks.inc();
                 self.record_flush(now, 1);
             }
-            self.sets[set_idx].invalidate(way);
+            self.sets.invalidate(set_idx, way);
         }
     }
 
@@ -887,7 +898,7 @@ impl PartitionedLlc {
         dram: &mut Dram,
         as_partition_flush: bool,
     ) {
-        let l = *self.sets[set_idx].line(way);
+        let l = self.sets.line(set_idx, way);
         if l.valid {
             if l.dirty {
                 let line = self.cfg.geom.line_from(l.tag, set_idx);
@@ -897,7 +908,7 @@ impl PartitionedLlc {
                     self.record_flush(now, 1);
                 }
             }
-            self.sets[set_idx].invalidate(way);
+            self.sets.invalidate(set_idx, way);
         }
     }
 
@@ -911,8 +922,8 @@ impl PartitionedLlc {
         dram: &mut Dram,
         as_partition_flush: bool,
     ) {
-        for s in 0..self.sets.len() {
-            let l = *self.sets[s].line(way);
+        for s in 0..self.sets.sets() {
+            let l = self.sets.line(s, way);
             if !l.valid {
                 continue;
             }
@@ -929,7 +940,7 @@ impl PartitionedLlc {
                     self.record_flush(now, 1);
                 }
             }
-            self.sets[s].invalidate(way);
+            self.sets.invalidate(s, way);
         }
     }
 
@@ -1045,9 +1056,8 @@ mod tests {
         for i in 0..3u64 {
             llc.access(Cycle(100 + i), CoreId(0), la(0, i * 64 * 64), false, &mut d);
         }
-        let set0 = &llc.sets[0];
-        assert_eq!(set0.owned_count(CoreId(0)), 3);
-        assert_eq!(set0.owned_count(CoreId(1)), 1);
+        assert_eq!(llc.sets.owned_count(0, CoreId(0)), 3);
+        assert_eq!(llc.sets.owned_count(0, CoreId(1)), 1);
     }
 
     #[test]

@@ -30,12 +30,22 @@ pub enum AccessMode {
 }
 
 /// The RAP/WAP register file: one pair of per-core bit vectors per way.
+///
+/// Beside the per-way registers, the file maintains the *transposed* view —
+/// one way-mask per core for each of read and write permission — updated
+/// incrementally on every grant/revoke. The per-access probe path reads
+/// those masks in O(1) instead of re-deriving them from the registers on
+/// every demand access.
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct PermissionFile {
     /// `rap[way]` bit `c` = core `c` may read the way.
     rap: Vec<u8>,
     /// `wap[way]` bit `c` = core `c` may write the way.
     wap: Vec<u8>,
+    /// Transposed RAP: `read_masks[c]` bit `w` = core `c` may read way `w`.
+    read_masks: [u64; 8],
+    /// Transposed WAP.
+    write_masks: [u64; 8],
     cores: usize,
 }
 
@@ -51,6 +61,8 @@ impl PermissionFile {
         PermissionFile {
             rap: vec![0; ways],
             wap: vec![0; ways],
+            read_masks: [0; 8],
+            write_masks: [0; 8],
             cores,
         }
     }
@@ -69,22 +81,30 @@ impl PermissionFile {
     pub fn grant_full(&mut self, way: usize, core: CoreId) {
         self.rap[way] |= core.bit();
         self.wap[way] |= core.bit();
+        self.read_masks[core.index()] |= 1 << way;
+        self.write_masks[core.index()] |= 1 << way;
     }
 
     /// Revokes write permission (the donor's state during takeover).
     pub fn revoke_write(&mut self, way: usize, core: CoreId) {
         self.wap[way] &= !core.bit();
+        self.write_masks[core.index()] &= !(1u64 << way);
     }
 
     /// Revokes read permission (completes a takeover).
     pub fn revoke_read(&mut self, way: usize, core: CoreId) {
         self.rap[way] &= !core.bit();
+        self.read_masks[core.index()] &= !(1u64 << way);
     }
 
     /// Clears both registers for all cores on `way` (before gating it).
     pub fn clear_way(&mut self, way: usize) {
         self.rap[way] = 0;
         self.wap[way] = 0;
+        for c in 0..self.cores {
+            self.read_masks[c] &= !(1u64 << way);
+            self.write_masks[c] &= !(1u64 << way);
+        }
     }
 
     /// `core`'s access mode on `way`.
@@ -101,26 +121,16 @@ impl PermissionFile {
     }
 
     /// Mask of ways `core` may read (its tag-probe mask — the source of the
-    /// scheme's dynamic energy savings).
+    /// scheme's dynamic energy savings). O(1): maintained incrementally.
+    #[inline]
     pub fn read_mask(&self, core: CoreId) -> WayMask {
-        let mut m = 0u64;
-        for (w, &bits) in self.rap.iter().enumerate() {
-            if bits & core.bit() != 0 {
-                m |= 1 << w;
-            }
-        }
-        WayMask(m)
+        WayMask(self.read_masks[core.index()])
     }
 
-    /// Mask of ways `core` may write (its fill/victim mask).
+    /// Mask of ways `core` may write (its fill/victim mask). O(1).
+    #[inline]
     pub fn write_mask(&self, core: CoreId) -> WayMask {
-        let mut m = 0u64;
-        for (w, &bits) in self.wap.iter().enumerate() {
-            if bits & core.bit() != 0 {
-                m |= 1 << w;
-            }
-        }
-        WayMask(m)
+        WayMask(self.write_masks[core.index()])
     }
 
     /// The single full owner of `way`, if any.
@@ -160,6 +170,23 @@ impl PermissionFile {
             }
             if self.wap[way] & !self.rap[way] != 0 {
                 return Err(format!("way {way}: write permission without read"));
+            }
+        }
+        // The transposed per-core masks must agree with the registers.
+        for c in 0..self.cores {
+            let bit = CoreId(c as u8).bit();
+            let mut r = 0u64;
+            let mut w = 0u64;
+            for way in 0..self.ways() {
+                if self.rap[way] & bit != 0 {
+                    r |= 1 << way;
+                }
+                if self.wap[way] & bit != 0 {
+                    w |= 1 << way;
+                }
+            }
+            if r != self.read_masks[c] || w != self.write_masks[c] {
+                return Err(format!("core {c}: transposed permission masks out of sync"));
             }
         }
         Ok(())

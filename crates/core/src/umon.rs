@@ -15,14 +15,24 @@ use serde::{Deserialize, Serialize};
 use crate::curve::MissCurve;
 
 /// A per-core utility monitor.
+///
+/// The shadow-tag stacks live in one contiguous fixed-stride slab (`ways`
+/// slots per sampled set) with a per-stack length byte, so the per-access
+/// `observe` is a linear scan over adjacent memory and a `copy_within`
+/// rotation instead of nested-`Vec` chasing. The f64 hit/miss counters are
+/// untouched by the flattening, keeping every derived miss curve
+/// bit-identical to the original nested representation.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct UtilityMonitor {
     ways: usize,
     shift: u32,
     /// Which sampled residue class of set indices this monitor watches.
     residue: usize,
-    /// Shadow tags per sampled set, MRU first.
-    stacks: Vec<Vec<u64>>,
+    /// Shadow tags, MRU first: stack `s` occupies `tags[s*ways..(s+1)*ways]`
+    /// with `lens[s]` live entries.
+    tags: Vec<u64>,
+    /// Live entries per stack.
+    lens: Vec<u8>,
     /// Hits at each LRU stack position.
     way_hits: Vec<f64>,
     /// Accesses that missed the whole ATD.
@@ -41,11 +51,13 @@ impl UtilityMonitor {
     pub fn new(sets: usize, ways: usize, shift: u32) -> UtilityMonitor {
         let step = 1usize << shift;
         assert!(step <= sets && ways > 0);
+        let stacks = sets >> shift;
         UtilityMonitor {
             ways,
             shift,
             residue: step / 2, // avoid set 0 (often hot with low addresses)
-            stacks: vec![Vec::with_capacity(ways); sets >> shift],
+            tags: vec![0; stacks * ways],
+            lens: vec![0; stacks],
             way_hits: vec![0.0; ways],
             misses: 0.0,
             accesses: 0.0,
@@ -66,22 +78,29 @@ impl UtilityMonitor {
     /// Observes an access to a sampled set. Returns `true` if the monitor
     /// actually recorded it (callers may use this to charge UMON probe
     /// energy).
+    #[inline]
     pub fn observe(&mut self, set_index: usize, tag: u64) -> bool {
         if !self.samples(set_index) {
             return false;
         }
-        let stack = &mut self.stacks[set_index >> self.shift];
+        let base = (set_index >> self.shift) * self.ways;
+        let len = self.lens[set_index >> self.shift] as usize;
         self.accesses += 1.0;
-        match stack.iter().position(|&t| t == tag) {
+        let stack = &mut self.tags[base..base + self.ways];
+        match stack[..len].iter().position(|&t| t == tag) {
             Some(p) => {
                 self.way_hits[p] += 1.0;
-                let t = stack.remove(p);
-                stack.insert(0, t);
+                // Move-to-front: slide positions 0..p down by one.
+                stack.copy_within(0..p, 1);
+                stack[0] = tag;
             }
             None => {
                 self.misses += 1.0;
-                stack.insert(0, tag);
-                stack.truncate(self.ways);
+                // Insert at MRU; the LRU tag falls off when full.
+                let keep = len.min(self.ways - 1);
+                stack.copy_within(0..keep, 1);
+                stack[0] = tag;
+                self.lens[set_index >> self.shift] = (keep + 1) as u8;
             }
         }
         true
@@ -116,7 +135,13 @@ impl UtilityMonitor {
 
     /// Number of shadow-tag entries this monitor can hold (hardware cost).
     pub fn shadow_entries(&self) -> usize {
-        self.stacks.len() * self.ways
+        self.tags.len()
+    }
+
+    /// Live shadow tags in stack `s` (exposed for tests).
+    #[cfg(test)]
+    fn stack_len(&self, s: usize) -> usize {
+        self.lens[s] as usize
     }
 }
 
@@ -216,7 +241,7 @@ mod tests {
         for t in 0..100u64 {
             m.observe(0, t);
         }
-        assert!(m.stacks[0].len() <= 2);
+        assert!(m.stack_len(0) <= 2);
         assert_eq!(m.shadow_entries(), 32);
     }
 }

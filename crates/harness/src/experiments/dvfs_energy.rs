@@ -31,6 +31,7 @@ pub const DEFAULT_SLACKS: [f64; 3] = [0.05, 0.10, 0.20];
 /// Builds the experiment over `slacks` (falls back to [`DEFAULT_SLACKS`]
 /// when empty).
 pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
+    let started = std::time::Instant::now();
     let slacks: Vec<f64> = if slacks.is_empty() {
         DEFAULT_SLACKS.to_vec()
     } else {
@@ -151,11 +152,20 @@ pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
         "total wins across slacks: {}",
         per_slack_wins.iter().sum::<usize>()
     ));
+    let sim_accesses = runs
+        .iter()
+        .flatten()
+        .flat_map(|r| r.accesses.iter())
+        .sum::<u64>();
     Experiment {
         id: "DVFS-E".to_string(),
         title: "Coordinated DVFS + partitioning vs Cooperative alone (two-core)".to_string(),
         table,
         notes,
+        perf: Some(crate::experiments::ExperimentPerf {
+            wall_seconds: started.elapsed().as_secs_f64(),
+            sim_accesses,
+        }),
     }
 }
 

@@ -24,7 +24,7 @@ pub enum ThresholdMetric {
 
 /// Builds Figure 11, 12 or 13.
 pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
-    let runs = cached_threshold_sweep(scale);
+    let sweep = cached_threshold_sweep(scale);
     let groups = groups_for_cores(2);
     let llc = crate::solo::solo_llc(2);
     let (id, title) = match metric {
@@ -50,7 +50,7 @@ pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
     for (g, group) in groups.iter().enumerate() {
         let ipc_alone = crate::solo::ipc_alone_for(group, llc, scale);
         let value = |t: usize| -> f64 {
-            let r = &runs[g][t];
+            let r = &sweep.runs[g][t];
             match metric {
                 ThresholdMetric::Performance => r.weighted_speedup(&ipc_alone),
                 ThresholdMetric::DynamicEnergy => r.energy.dynamic_nj,
@@ -91,5 +91,6 @@ pub fn figure(metric: ThresholdMetric, scale: SimScale) -> Experiment {
         title: title.to_string(),
         table,
         notes,
+        perf: Some(sweep.perf),
     }
 }

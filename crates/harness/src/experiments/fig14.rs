@@ -64,5 +64,6 @@ pub fn figure(scale: SimScale) -> Experiment {
         notes: vec![format!(
             "paper: donor hits + recipient misses are ~2/3 of events in most groups; measured average {two_thirds:.2}"
         )],
+        perf: Some(sweep.perf()),
     }
 }

@@ -170,5 +170,6 @@ pub fn figure_for(
         title: title.to_string(),
         table,
         notes,
+        perf: Some(sweep.perf()),
     })
 }

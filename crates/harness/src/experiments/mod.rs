@@ -32,6 +32,53 @@ use crate::scale::SimScale;
 use crate::solo;
 use crate::system::{RunResult, System};
 
+/// Simulation cost behind one experiment: the wall-clock its backing runs
+/// took and how many LLC demand accesses they simulated. This is the
+/// harness's perf trajectory (see BENCH_5.json): every `repro` experiment
+/// prints it, so a regression in simulator throughput is visible in the
+/// artifacts themselves, not just in the Criterion kernels.
+///
+/// Sweeps are memoized process-wide, so experiments sharing a sweep report
+/// the *same* cost — the cost of computing the data they read, paid once.
+#[derive(Debug, Clone, Copy)]
+pub struct ExperimentPerf {
+    /// Seconds spent computing the backing runs (0 when they were cached).
+    pub wall_seconds: f64,
+    /// LLC demand accesses simulated across those runs.
+    pub sim_accesses: u64,
+}
+
+impl ExperimentPerf {
+    /// Simulated LLC accesses per wall-clock second.
+    pub fn accesses_per_second(&self) -> f64 {
+        if self.wall_seconds > 0.0 {
+            self.sim_accesses as f64 / self.wall_seconds
+        } else {
+            0.0
+        }
+    }
+
+    fn render_line(&self) -> String {
+        format!(
+            "perf: {:.1}s simulate · {} LLC accesses · {}/s\n",
+            self.wall_seconds,
+            fmt_count(self.sim_accesses),
+            fmt_count(self.accesses_per_second() as u64),
+        )
+    }
+}
+
+/// Compact count formatting for the perf lines (`12.3M`, `450k`).
+fn fmt_count(n: u64) -> String {
+    if n >= 10_000_000 {
+        format!("{:.1}M", n as f64 / 1e6)
+    } else if n >= 10_000 {
+        format!("{:.0}k", n as f64 / 1e3)
+    } else {
+        n.to_string()
+    }
+}
+
 /// A rendered experiment: table + comparison notes.
 #[derive(Debug, Clone)]
 pub struct Experiment {
@@ -43,6 +90,8 @@ pub struct Experiment {
     pub table: Table,
     /// Notes comparing measured values with the paper's claims.
     pub notes: Vec<String>,
+    /// Simulation cost of the backing runs (`None` for static tables).
+    pub perf: Option<ExperimentPerf>,
 }
 
 impl Experiment {
@@ -58,6 +107,9 @@ impl Experiment {
             out.push_str("note: ");
             out.push_str(n);
             out.push('\n');
+        }
+        if let Some(perf) = &self.perf {
+            out.push_str(&perf.render_line());
         }
         out
     }
@@ -78,6 +130,24 @@ pub struct Sweep {
     pub runs: Vec<Vec<RunResult>>,
     /// Solo IPCs per group (aligned with group member order).
     pub ipc_alone: Vec<Vec<f64>>,
+    /// Wall-clock seconds the sweep took to compute (solo baselines
+    /// included; 0 once memoized).
+    pub wall_seconds: f64,
+    /// LLC demand accesses simulated *while computing this sweep*: every
+    /// (group, policy) cell plus the solo baselines this call ran itself
+    /// (baselines served from the process-wide cache are excluded, so
+    /// accesses-per-second never counts work the wall-clock did not pay).
+    pub sim_accesses: u64,
+}
+
+impl Sweep {
+    /// The sweep's simulation cost as an [`ExperimentPerf`].
+    pub fn perf(&self) -> ExperimentPerf {
+        ExperimentPerf {
+            wall_seconds: self.wall_seconds,
+            sim_accesses: self.sim_accesses,
+        }
+    }
 }
 
 impl Sweep {
@@ -170,6 +240,7 @@ fn compute_sweep(
     scale: SimScale,
     policies: &[&'static str],
 ) -> Sweep {
+    let started = std::time::Instant::now();
     let llc = solo::solo_llc(cores);
 
     // Prefetch solo baselines in parallel (they are shared by many cells).
@@ -185,8 +256,14 @@ fn compute_sweep(
             move |m| todo.remove(m.name())
         })
         .collect();
+    // Only baselines *simulated by this call* count toward the perf line —
+    // cache hits carry accesses whose compute time this sweep never paid.
+    let solo_accesses = Mutex::new(0u64);
     parallel_for_each(members, |m| {
-        solo::solo_result_for(&m, llc, scale);
+        let (r, computed) = solo::solo_result_tracked(&m, llc, scale);
+        if computed {
+            *solo_accesses.lock().expect("solo accesses") += r.accesses;
+        }
     });
 
     // Run every (group, policy) cell in parallel.
@@ -210,12 +287,20 @@ fn compute_sweep(
         .iter()
         .map(|g| solo::ipc_alone_for(g, llc, scale))
         .collect();
+    let sim_accesses: u64 = runs
+        .iter()
+        .flatten()
+        .flat_map(|r| r.accesses.iter())
+        .sum::<u64>()
+        + solo_accesses.into_inner().expect("solo accesses");
     Sweep {
         cores,
         policies: policies.to_vec(),
         groups,
         runs,
         ipc_alone,
+        wall_seconds: started.elapsed().as_secs_f64(),
+        sim_accesses,
     }
 }
 
@@ -309,12 +394,21 @@ pub fn cached_sweep_filtered(
     Some(sweep)
 }
 
+/// The Cooperative-scheme threshold sweep behind Figures 11-13:
+/// `runs[group][threshold]` plus its simulation cost.
+#[derive(Debug)]
+pub struct ThresholdSweep {
+    /// `runs[group_idx][threshold_idx]` for [`fig11_13::THRESHOLDS`].
+    pub runs: Vec<Vec<RunResult>>,
+    /// Simulation cost of computing the sweep.
+    pub perf: ExperimentPerf,
+}
+
 /// Memoized Cooperative-scheme threshold sweep over the two-core groups
-/// (Figures 11-13). Returns `runs[group][threshold]` for
-/// [`fig11_13::THRESHOLDS`].
-pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
-    /// Cache entries keyed by scale name: `runs[group][threshold]`.
-    type ThresholdCache = Mutex<Vec<(&'static str, Arc<Vec<Vec<RunResult>>>)>>;
+/// (Figures 11-13).
+pub fn cached_threshold_sweep(scale: SimScale) -> Arc<ThresholdSweep> {
+    /// Cache entries keyed by scale name.
+    type ThresholdCache = Mutex<Vec<(&'static str, Arc<ThresholdSweep>)>>;
     static CACHE: OnceLock<ThresholdCache> = OnceLock::new();
     let cache = CACHE.get_or_init(|| Mutex::new(Vec::new()));
     if let Some((_, hit)) = cache
@@ -325,6 +419,7 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
     {
         return Arc::clone(hit);
     }
+    let started = std::time::Instant::now();
     let groups = groups_for_cores(2);
     let jobs: Vec<(usize, usize)> = (0..groups.len())
         .flat_map(|g| (0..fig11_13::THRESHOLDS.len()).map(move |t| (g, t)))
@@ -347,7 +442,18 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<Vec<Vec<RunResult>>> {
         .into_iter()
         .map(|row| row.into_iter().map(|c| c.expect("job ran")).collect())
         .collect();
-    let arc = Arc::new(runs);
+    let sim_accesses = runs
+        .iter()
+        .flatten()
+        .flat_map(|r| r.accesses.iter())
+        .sum::<u64>();
+    let arc = Arc::new(ThresholdSweep {
+        runs,
+        perf: ExperimentPerf {
+            wall_seconds: started.elapsed().as_secs_f64(),
+            sim_accesses,
+        },
+    });
     cache
         .lock()
         .expect("threshold cache")

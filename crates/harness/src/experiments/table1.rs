@@ -41,6 +41,7 @@ pub fn table() -> Experiment {
             "paper's table assumes 2048 sets; the stated 2MB/8-way/64B and 4MB/16-way/64B geometries both give 4096 sets, so the computed vectors are 2x the published bits"
                 .to_string(),
         ],
+        perf: None,
     }
 }
 

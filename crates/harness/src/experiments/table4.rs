@@ -41,6 +41,7 @@ pub fn table() -> Experiment {
                 eight.join("; ")
             ),
         ],
+        perf: None,
     }
 }
 

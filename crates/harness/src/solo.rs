@@ -26,6 +26,8 @@ pub struct SoloResult {
     pub mpki: f64,
     /// Solo LLC accesses per kilo-instruction.
     pub apki: f64,
+    /// LLC demand accesses simulated in the solo measurement window.
+    pub accesses: u64,
     /// Per-epoch UMON miss curves (the Dynamic CPE profile).
     pub epoch_curves: Vec<MissCurve>,
 }
@@ -52,6 +54,18 @@ pub fn solo_result_for(
     llc: LlcConfig,
     scale: SimScale,
 ) -> Arc<SoloResult> {
+    solo_result_tracked(factory, llc, scale).0
+}
+
+/// Like [`solo_result_for`], but also reports whether the result was
+/// simulated by *this* call (`true`) or served from the process-wide cache
+/// (`false`). The perf accounting uses the flag so accesses-per-second
+/// lines never count cached work whose compute time they did not pay.
+pub fn solo_result_tracked(
+    factory: &Arc<dyn WorkloadFactory>,
+    llc: LlcConfig,
+    scale: SimScale,
+) -> (Arc<SoloResult>, bool) {
     let key: Key = (
         factory.name().to_string(),
         llc.geom.size_bytes(),
@@ -59,7 +73,7 @@ pub fn solo_result_for(
         scale.name,
     );
     if let Some(hit) = cache().lock().expect("poisoned solo cache").get(&key) {
-        return Arc::clone(hit);
+        return (Arc::clone(hit), false);
     }
     let run = System::builder()
         .workload_resolved(ResolvedWorkload::single(Arc::clone(factory)))
@@ -72,20 +86,30 @@ pub fn solo_result_for(
         ipc: run.ipc[0],
         mpki: run.mpki[0],
         apki: run.apki[0],
+        accesses: run.accesses[0],
         epoch_curves: run.epoch_curves,
     });
     cache()
         .lock()
         .expect("poisoned solo cache")
         .insert(key, Arc::clone(&result));
-    result
+    (result, true)
 }
 
 /// Solo baseline for a synthetic benchmark (typed convenience over
 /// [`solo_result_for`]).
 pub fn solo_result(benchmark: Benchmark, llc: LlcConfig, scale: SimScale) -> Arc<SoloResult> {
+    solo_result_bench_tracked(benchmark, llc, scale).0
+}
+
+/// Typed convenience over [`solo_result_tracked`].
+pub fn solo_result_bench_tracked(
+    benchmark: Benchmark,
+    llc: LlcConfig,
+    scale: SimScale,
+) -> (Arc<SoloResult>, bool) {
     let factory: Arc<dyn WorkloadFactory> = Arc::new(SyntheticWorkload::new(benchmark));
-    solo_result_for(&factory, llc, scale)
+    solo_result_tracked(&factory, llc, scale)
 }
 
 /// Solo IPCs for a whole workload (in member/core order).

@@ -356,6 +356,9 @@ pub struct RunResult {
     pub mpki: Vec<f64>,
     /// Per-core LLC accesses per kilo-instruction.
     pub apki: Vec<f64>,
+    /// Per-core LLC demand accesses simulated inside the window (the
+    /// numerator of the harness's accesses-per-second throughput lines).
+    pub accesses: Vec<u64>,
     /// Raw energy-event counts for the window.
     pub counts: EnergyCounts,
     /// Evaluated energies for the window.
@@ -606,6 +609,9 @@ impl System {
         let apki: Vec<f64> = (0..n)
             .map(|i| (self.llc.stats().per_core[i].accesses.get() - base_accesses[i]) as f64 / kilo)
             .collect();
+        let accesses: Vec<u64> = (0..n)
+            .map(|i| self.llc.stats().per_core[i].accesses.get() - base_accesses[i])
+            .collect();
         let counts = minus(self.llc.energy_counts(end), base_counts);
         let params =
             EnergyParams::for_llc(self.cfg.llc.geom.size_bytes(), self.cfg.llc.geom.ways());
@@ -684,6 +690,7 @@ impl System {
             ipc,
             mpki,
             apki,
+            accesses,
             counts,
             energy: params.evaluate(&counts),
             avg_ways: self.llc.avg_ways_consulted(),

@@ -19,6 +19,12 @@ pub struct CacheGeometry {
     size_bytes: u64,
     ways: usize,
     line_bytes: u64,
+    /// Derived at construction: number of sets. Cached so the per-access
+    /// index/tag arithmetic is shift/mask only — computing it on demand
+    /// costs a 64-bit division on every cache access.
+    sets: usize,
+    /// Derived at construction: `log2(sets)`.
+    index_bits: u32,
 }
 
 impl CacheGeometry {
@@ -35,13 +41,15 @@ impl CacheGeometry {
             line_bytes.is_power_of_two(),
             "line size must be a power of two"
         );
-        let g = CacheGeometry {
+        let sets = (size_bytes / (line_bytes * ways as u64)) as usize;
+        assert!(sets >= 1, "degenerate geometry");
+        CacheGeometry {
             size_bytes,
             ways,
             line_bytes,
-        };
-        assert!(g.sets() >= 1, "degenerate geometry");
-        g
+            sets,
+            index_bits: sets.trailing_zeros(),
+        }
     }
 
     /// Total capacity in bytes.
@@ -60,27 +68,28 @@ impl CacheGeometry {
     }
 
     /// Number of sets.
+    #[inline]
     pub fn sets(&self) -> usize {
-        (self.size_bytes / (self.line_bytes * self.ways as u64)) as usize
+        self.sets
     }
 
     /// Set index for a line address.
     #[inline]
     pub fn set_index(&self, line: LineAddr) -> usize {
-        (line.raw() as usize) & (self.sets() - 1)
+        (line.raw() as usize) & (self.sets - 1)
     }
 
     /// Tag for a line address (everything above the index bits).
     #[inline]
     pub fn tag(&self, line: LineAddr) -> u64 {
-        line.raw() >> self.sets().trailing_zeros()
+        line.raw() >> self.index_bits
     }
 
     /// Reassembles a line address from a tag and set index (inverse of
     /// [`Self::tag`] + [`Self::set_index`]).
     #[inline]
     pub fn line_from(&self, tag: u64, set_index: usize) -> LineAddr {
-        LineAddr((tag << self.sets().trailing_zeros()) | set_index as u64)
+        LineAddr((tag << self.index_bits) | set_index as u64)
     }
 }
 

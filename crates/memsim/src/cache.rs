@@ -6,7 +6,8 @@ use simkit::types::{CoreId, LineAddr};
 use simkit::Counter;
 
 use crate::addr::CacheGeometry;
-use crate::set::{CacheSet, WayMask};
+use crate::arena::SetArena;
+use crate::set::WayMask;
 
 /// Hit/miss and traffic statistics for one cache.
 #[derive(Debug, Default, Clone, Copy, Serialize, Deserialize)]
@@ -66,7 +67,7 @@ pub struct AccessResult {
 pub struct Cache {
     geom: CacheGeometry,
     owner: CoreId,
-    sets: Vec<CacheSet>,
+    sets: SetArena,
     all_ways: WayMask,
     stats: CacheStats,
 }
@@ -77,9 +78,7 @@ impl Cache {
         Cache {
             geom,
             owner,
-            sets: (0..geom.sets())
-                .map(|_| CacheSet::new(geom.ways()))
-                .collect(),
+            sets: SetArena::new(geom.sets(), geom.ways()),
             all_ways: WayMask::all(geom.ways()),
             stats: CacheStats::default(),
         }
@@ -105,11 +104,10 @@ impl Cache {
         }
         let set_idx = self.geom.set_index(line);
         let tag = self.geom.tag(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(way) = set.find(tag, self.all_ways) {
-            set.touch(way);
+        if let Some(way) = self.sets.find(set_idx, tag, self.all_ways) {
+            self.sets.touch(set_idx, way);
             if is_write {
-                set.line_mut(way).dirty = true;
+                self.sets.mark_dirty(set_idx, way);
             }
             return AccessResult {
                 hit: true,
@@ -117,10 +115,11 @@ impl Cache {
             };
         }
         self.stats.misses.inc();
-        let way = set
-            .victim(self.all_ways)
+        let way = self
+            .sets
+            .victim(set_idx, self.all_ways)
             .expect("non-empty mask always yields a victim");
-        let prev = set.fill(way, tag, self.owner, is_write);
+        let prev = self.sets.fill(set_idx, way, tag, self.owner, is_write);
         let writeback = (prev.valid && prev.dirty).then(|| {
             self.stats.writebacks.inc();
             self.geom.line_from(prev.tag, set_idx)
@@ -133,17 +132,22 @@ impl Cache {
 
     /// Probes without any side effects (no recency update, no allocation).
     pub fn probe(&self, line: LineAddr) -> bool {
-        let set = &self.sets[self.geom.set_index(line)];
-        set.find(self.geom.tag(line), self.all_ways).is_some()
+        self.sets
+            .find(
+                self.geom.set_index(line),
+                self.geom.tag(line),
+                self.all_ways,
+            )
+            .is_some()
     }
 
     /// Invalidates the whole cache, returning the number of dirty lines that
     /// would be written back (used for flush-style reconfiguration costs).
     pub fn flush_all(&mut self) -> u64 {
         let mut dirty = 0;
-        for set in &mut self.sets {
-            for w in 0..set.ways() {
-                let prev = set.invalidate(w);
+        for s in 0..self.sets.sets() {
+            for w in 0..self.sets.ways() {
+                let prev = self.sets.invalidate(s, w);
                 if prev.valid && prev.dirty {
                     dirty += 1;
                     self.stats.writebacks.inc();

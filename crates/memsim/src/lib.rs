@@ -7,7 +7,12 @@
 //!   tag, bank mapping);
 //! * [`set::CacheSet`] — one set of a set-associative cache with true-LRU
 //!   replacement metadata, per-line owner/dirty state and *masked* lookup
-//!   (the primitive the partitioned LLC's RAP/WAP-restricted probes build on);
+//!   (the primitive the partitioned LLC's RAP/WAP-restricted probes build
+//!   on); kept as the readable *reference* implementation;
+//! * [`arena::SetArena`] — the same semantics flattened into contiguous
+//!   structure-of-arrays slabs (tag slab, packed metadata bytes, per-set
+//!   validity bitmasks, nibble-packed LRU order words) — the storage the
+//!   hot simulation paths actually run on;
 //! * [`cache::Cache`] — a plain set-associative write-back cache used for the
 //!   private L1 instruction/data caches;
 //! * [`mshr::MshrFile`] — miss-status holding registers with merging;
@@ -19,12 +24,14 @@
 //! the hot simulation loop free of event-queue overhead.
 
 pub mod addr;
+pub mod arena;
 pub mod cache;
 pub mod dram;
 pub mod mshr;
 pub mod set;
 
 pub use addr::CacheGeometry;
+pub use arena::SetArena;
 pub use cache::{Cache, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use mshr::MshrFile;

@@ -4,10 +4,41 @@
 //! line already in flight merges (it completes when the first fill returns),
 //! and a full file back-pressures the requester.
 
-use std::collections::HashMap;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap};
+use std::hash::{BuildHasherDefault, Hasher};
 
 use simkit::types::{Cycle, LineAddr};
 use simkit::Counter;
+
+/// Multiplicative hasher for line-address keys.
+///
+/// The MSHR map is on the miss path of every cache level; SipHash is
+/// overkill for a `u64` key the simulator controls, so keys are mixed with
+/// one Fibonacci multiply instead. Map *semantics* are unchanged — no MSHR
+/// operation depends on iteration order.
+#[derive(Default)]
+struct LineHasher(u64);
+
+impl Hasher for LineHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0.rotate_left(8) ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.0 = v.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type LineMap = HashMap<u64, Cycle, BuildHasherDefault<LineHasher>>;
 
 /// Outcome of asking the MSHR file to track a miss.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -24,12 +55,20 @@ pub enum MshrOutcome {
 /// A fixed-capacity MSHR file.
 ///
 /// Entries expire automatically: any entry whose completion is `<= now` at
-/// the time of an operation is considered retired and reclaimed lazily.
+/// the time of an operation is considered retired and reclaimed. Expiry is
+/// driven by a min-heap of scheduled completions, so [`MshrFile::begin`] is
+/// O(log n) amortized instead of the O(capacity) map scans a full file used
+/// to pay on every miss — with identical outcomes, since eager reclamation
+/// only removes entries the old lazy sweep would have removed before any
+/// decision that reads them.
 #[derive(Debug, Clone)]
 pub struct MshrFile {
     capacity: usize,
     // line -> completion cycle (Cycle::MAX-like sentinel until scheduled).
-    entries: HashMap<u64, Cycle>,
+    entries: LineMap,
+    /// Min-heap of `(completion, line)` pairs mirroring every scheduled
+    /// entry in `entries` (unscheduled entries are not in the heap).
+    scheduled: BinaryHeap<Reverse<(u64, u64)>>,
     /// Merged (secondary) misses observed.
     pub merges: Counter,
     /// Times the file was full and stalled a requester.
@@ -48,7 +87,8 @@ impl MshrFile {
         assert!(capacity > 0);
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            entries: LineMap::with_capacity_and_hasher(capacity, BuildHasherDefault::default()),
+            scheduled: BinaryHeap::with_capacity(capacity),
             merges: Counter::default(),
             stalls: Counter::default(),
         }
@@ -61,7 +101,7 @@ impl MshrFile {
 
     /// Tries to track a miss on `line` at cycle `now`.
     pub fn begin(&mut self, now: Cycle, line: LineAddr) -> MshrOutcome {
-        self.sweep(now);
+        self.expire(now);
         if let Some(&done) = self.entries.get(&line.raw()) {
             if done > now {
                 self.merges.inc();
@@ -70,30 +110,28 @@ impl MshrFile {
         }
         if self.entries.len() >= self.capacity {
             self.stalls.inc();
+            // After expiry every remaining scheduled completion is `> now`,
+            // and the heap's top is their minimum; an empty heap means every
+            // entry is unscheduled (the old map-wide min saw the sentinel).
             let earliest = self
-                .entries
-                .values()
-                .copied()
-                .min()
-                .unwrap_or(now + 1)
+                .scheduled
+                .peek()
+                .map(|&Reverse((d, _))| Cycle(d))
+                .unwrap_or(UNSCHEDULED)
                 .max(now + 1);
             return MshrOutcome::Full(earliest);
         }
-        self.entries.insert(line.raw(), UNSCHEDULED);
         MshrOutcome::Allocated
     }
 
-    /// Records the fill completion time for a previously allocated entry.
-    ///
-    /// # Panics
-    ///
-    /// Panics (debug builds) if the line has no entry.
+    /// Records the fill completion time for a miss [`MshrFile::begin`] just
+    /// admitted. The entry is created here (one map touch per miss instead
+    /// of two): callers schedule the fill and call this immediately after
+    /// an `Allocated` outcome, before any other MSHR operation, so the
+    /// file's observable state at every decision point is unchanged.
     pub fn set_completion(&mut self, line: LineAddr, done: Cycle) {
-        let e = self.entries.get_mut(&line.raw());
-        debug_assert!(e.is_some(), "set_completion without begin");
-        if let Some(slot) = e {
-            *slot = done;
-        }
+        self.entries.insert(line.raw(), done);
+        self.scheduled.push(Reverse((done.raw(), line.raw())));
     }
 
     /// Completion cycle of an outstanding line, if any.
@@ -104,12 +142,19 @@ impl MshrFile {
             .filter(|&c| c != UNSCHEDULED)
     }
 
-    /// Drops entries that completed at or before `now`.
-    fn sweep(&mut self, now: Cycle) {
-        if self.entries.len() < self.capacity {
-            return; // lazy: only reclaim under pressure
+    /// Drops entries that completed at or before `now`, cheapest-first off
+    /// the heap. The map-value guard skips heap pairs made stale by a line
+    /// being re-allocated after its previous fill expired.
+    fn expire(&mut self, now: Cycle) {
+        while let Some(&Reverse((done, line))) = self.scheduled.peek() {
+            if Cycle(done) > now {
+                break;
+            }
+            self.scheduled.pop();
+            if self.entries.get(&line) == Some(&Cycle(done)) {
+                self.entries.remove(&line);
+            }
         }
-        self.entries.retain(|_, &mut done| done > now);
     }
 }
 

@@ -4,6 +4,12 @@
 //! Masked lookup/victim selection is the primitive that both the plain L1
 //! caches (mask = all ways) and the partitioned LLC (mask = ways the probing
 //! core may read / write per its RAP/WAP registers) are built on.
+//!
+//! `CacheSet` is the *reference* implementation: one heap allocation per
+//! set, written for readability. The hot simulation paths run on the
+//! flattened [`crate::arena::SetArena`], which is property-tested against
+//! this type for bit-identical behaviour
+//! (`crates/memsim/tests/arena_reference.rs`).
 
 use serde::{Deserialize, Serialize};
 use simkit::types::CoreId;
@@ -54,6 +60,7 @@ impl WayMask {
     }
 
     /// Iterator over the selected way indices, ascending.
+    #[inline]
     pub fn iter(self) -> impl Iterator<Item = usize> {
         let mut bits = self.0;
         std::iter::from_fn(move || {
@@ -101,6 +108,7 @@ impl LineState {
 }
 
 impl Default for LineState {
+    #[inline]
     fn default() -> Self {
         LineState::INVALID
     }
@@ -133,17 +141,20 @@ impl CacheSet {
     }
 
     /// Associativity of the set.
+    #[inline]
     pub fn ways(&self) -> usize {
         self.lines.len()
     }
 
     /// Read access to a line's state.
+    #[inline]
     pub fn line(&self, way: usize) -> &LineState {
         &self.lines[way]
     }
 
     /// Mutable access to a line's state (callers must keep `order` sensible;
     /// prefer the higher-level methods).
+    #[inline]
     pub fn line_mut(&mut self, way: usize) -> &mut LineState {
         &mut self.lines[way]
     }
@@ -153,12 +164,14 @@ impl CacheSet {
     /// Returns the way index on a hit. Does **not** update recency — call
     /// [`Self::touch`] on an actual use so that probes (e.g. monitoring) can
     /// stay side-effect free.
+    #[inline]
     pub fn find(&self, tag: u64, mask: WayMask) -> Option<usize> {
         mask.iter()
             .find(|&w| self.lines[w].valid && self.lines[w].tag == tag)
     }
 
     /// Marks `way` most recently used.
+    #[inline]
     pub fn touch(&mut self, way: usize) {
         debug_assert!(way < self.ways());
         if let Some(pos) = self.order.iter().position(|&w| w as usize == way) {
