@@ -13,10 +13,21 @@
 //! * `cacheset_reference_16way` — the same op stream through the reference
 //!   `CacheSet`, so the flattening stays *measured*, not asserted.
 //!
+//! Two more bracket the event-driven stepping work (PR 6):
+//!
+//! * `core_step_event_driven_4core` — four cores with a mixed synthetic
+//!   stream driven by the wake-list `SystemStepper` against a fixed-latency
+//!   LLC double, measured per 1000 retired instructions on core 0;
+//! * `core_step_reference_4core` — the identical system under the per-cycle
+//!   reference stepper, so the wake-list speedup stays *measured*.
+//!
 //! Run with `cargo bench -p bench --bench hotpath`. The numbers are
 //! ns per 1000 operations (each `iter` performs 1000 accesses).
 
 use coop_core::{LlcConfig, PartitionedLlc, SchemeKind};
+use cpusim::{
+    Core, CoreConfig, EpochControl, Instr, InstrSource, LlcPort, StepperKind, SystemStepper,
+};
 use criterion::{criterion_group, criterion_main, Criterion};
 use memsim::{CacheGeometry, CacheSet, Dram, DramConfig, SetArena, WayMask};
 use simkit::types::{CoreId, Cycle, LineAddr};
@@ -102,6 +113,65 @@ fn bench_hotpath(c: &mut Criterion) {
             hits
         })
     });
+
+    // Kernels 4/5: system stepping — four cores with a mixed instruction
+    // stream (ALU / loads over a 1 MB footprint / stores / branches) against
+    // a fixed-latency LLC double, under each stepper. Each iteration runs
+    // until every core retires 1000 more instructions (4000 total); the
+    // system persists across iterations so the timing loop measures steady
+    // state.
+    for kind in [StepperKind::EventDriven, StepperKind::Reference] {
+        let name = match kind {
+            StepperKind::EventDriven => "core_step_event_driven_4core",
+            StepperKind::Reference => "core_step_reference_4core",
+        };
+        c.bench_function(name, |b| {
+            struct Mix {
+                state: u64,
+            }
+            impl InstrSource for Mix {
+                fn next_instr(&mut self) -> Instr {
+                    let r = lcg(&mut self.state);
+                    match r % 8 {
+                        0..=2 => Instr::alu((r >> 3) % 1024),
+                        3 | 4 => Instr::load((r >> 3) % 4096, (r >> 8) % (1 << 20)),
+                        5 => Instr::store((r >> 3) % 4096, (r >> 8) % (1 << 18)),
+                        _ => Instr::branch((r >> 3) % 2048, r & 1 == 0),
+                    }
+                }
+            }
+            struct FlatLlc;
+            impl LlcPort for FlatLlc {
+                fn access(&mut self, now: Cycle, _: CoreId, line: LineAddr, _: bool) -> Cycle {
+                    now + 180 + (line.raw() % 3) * 60
+                }
+                fn writeback(&mut self, _: Cycle, _: CoreId, _: LineAddr) {}
+            }
+            let mut cores: Vec<Core> = (0..4)
+                .map(|i| {
+                    Core::new(
+                        CoreId(i as u8),
+                        CoreConfig::default(),
+                        Box::new(Mix {
+                            state: 0x5EED ^ ((i as u64 + 1) << 32),
+                        }),
+                    )
+                })
+                .collect();
+            let mut llc = FlatLlc;
+            let mut stepper = SystemStepper::new(kind, 5_000_000);
+            b.iter(|| {
+                let targets: Vec<u64> = cores.iter().map(|c| c.retired() + 1000).collect();
+                stepper.run(
+                    &mut cores,
+                    &mut llc,
+                    &targets,
+                    Cycle(u64::MAX),
+                    |_, _, _| EpochControl::Continue,
+                )
+            })
+        });
+    }
 
     // Kernel 3: the identical op stream through the reference CacheSet.
     c.bench_function("cacheset_reference_16way", |b| {

@@ -30,11 +30,17 @@ impl BranchStats {
 
 /// Gshare predictor: global history XOR PC indexing a table of 2-bit
 /// saturating counters, plus a 4-way set-associative BTB.
+///
+/// The PHT packs four 2-bit counters per byte (the paper's 4096-entry table
+/// is 1 KiB), keeping the whole direction table L1-resident on the host.
 #[derive(Debug, Clone)]
 pub struct Gshare {
     history: u64,
     history_bits: u32,
+    /// Packed PHT: counter `i` lives in bits `(i % 4) * 2 ..` of byte `i / 4`.
     pht: Vec<u8>,
+    /// Number of 2-bit counters (a power of two; `pht.len() * 4`).
+    pht_entries: usize,
     btb_tags: Vec<u64>, // [set * assoc + way]
     btb_sets: usize,
     btb_assoc: usize,
@@ -52,10 +58,13 @@ impl Gshare {
     pub fn new(pht_bits: u32, btb_entries: usize, btb_assoc: usize) -> Gshare {
         assert!(btb_assoc > 0 && btb_entries.is_multiple_of(btb_assoc));
         let btb_sets = btb_entries / btb_assoc;
+        let pht_entries = 1usize << pht_bits;
         Gshare {
             history: 0,
             history_bits: pht_bits.min(16),
-            pht: vec![2; 1 << pht_bits], // weakly taken
+            // All counters start weakly taken (0b10 in every 2-bit lane).
+            pht: vec![0b1010_1010; pht_entries.div_ceil(4)],
+            pht_entries,
             btb_tags: vec![u64::MAX; btb_entries],
             btb_sets,
             btb_assoc,
@@ -78,16 +87,19 @@ impl Gshare {
     /// front end must redirect (misprediction).
     pub fn observe(&mut self, pc: u64, taken: bool) -> bool {
         self.stats.branches.inc();
-        let mask = (self.pht.len() - 1) as u64;
-        let idx = ((pc >> 2) ^ self.history) & mask;
-        let ctr = &mut self.pht[idx as usize];
-        let predicted_taken = *ctr >= 2;
-        // 2-bit saturating update.
-        if taken {
-            *ctr = (*ctr + 1).min(3);
+        let mask = (self.pht_entries - 1) as u64;
+        let idx = (((pc >> 2) ^ self.history) & mask) as usize;
+        let shift = (idx & 3) * 2;
+        let byte = &mut self.pht[idx >> 2];
+        let ctr = (*byte >> shift) & 0b11;
+        let predicted_taken = ctr >= 2;
+        // 2-bit saturating update within the packed lane.
+        let updated = if taken {
+            (ctr + 1).min(3)
         } else {
-            *ctr = ctr.saturating_sub(1);
-        }
+            ctr.saturating_sub(1)
+        };
+        *byte = (*byte & !(0b11 << shift)) | (updated << shift);
         // Global history update.
         self.history = ((self.history << 1) | taken as u64) & ((1 << self.history_bits) - 1);
 

@@ -126,15 +126,26 @@ impl VfTable {
 
 /// A core's clock: dilates core cycles onto the reference timeline.
 ///
-/// At ratio `r = f_nom / f >= 1` every core cycle spans `r` reference
-/// cycles. Fractional ratios are handled by carrying the residue between
-/// ticks, so the long-run tick rate is exact (e.g. ratio 1.25 produces
-/// strides 1, 1, 1, 2).
+/// At ratio `r = f_nom / f >= 1` the `m`-th core cycle since the last DVFS
+/// transition fires at reference cycle `anchor + ⌊m·r⌋` — a fixed arithmetic
+/// *grid*. Fractional ratios average out exactly (ratio 1.25 produces
+/// strides 1, 1, 1, 2) and, crucially, the schedule is a **pure function of
+/// time**: whether cycle `t` is a tick does not depend on how often the
+/// clock was queried before `t`. That purity is what lets the event-driven
+/// stepper skip a down-clocked core's dead cycles and still land on exactly
+/// the ticks the reference stepper executes.
+///
+/// The only history the clock keeps besides the grid is the last *consumed*
+/// tick (`gate`), so stepping a core twice at the same cycle never yields
+/// two core cycles.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CoreClock {
     ratio: f64,
-    next_tick: Cycle,
-    carry: f64,
+    /// Reference cycle the current grid is anchored at (the cycle of the
+    /// last DVFS transition; tick `m` fires at `anchor + ⌊m·ratio⌋`).
+    anchor: Cycle,
+    /// One past the last consumed tick: `ticks_at` is false below this.
+    gate: Cycle,
 }
 
 impl CoreClock {
@@ -143,8 +154,8 @@ impl CoreClock {
     pub fn nominal() -> CoreClock {
         CoreClock {
             ratio: 1.0,
-            next_tick: Cycle::ZERO,
-            carry: 0.0,
+            anchor: Cycle::ZERO,
+            gate: Cycle::ZERO,
         }
     }
 
@@ -153,45 +164,85 @@ impl CoreClock {
         self.ratio
     }
 
-    /// Changes the dilation ratio (a DVFS transition). Takes effect from
-    /// the next tick; the carried residue is cleared so the new cadence
-    /// starts fresh.
+    /// Changes the dilation ratio (a DVFS transition) at reference cycle
+    /// `now`, re-anchoring the tick grid there. A no-op when the ratio is
+    /// unchanged, so repeated identical decisions never shift the grid.
     ///
     /// # Panics
     ///
     /// Panics if `ratio < 1` (cores never overclock past nominal).
-    pub fn set_ratio(&mut self, ratio: f64) {
+    pub fn set_ratio(&mut self, now: Cycle, ratio: f64) {
         assert!(ratio >= 1.0, "dilation ratio must be >= 1, got {ratio}");
         if (ratio - self.ratio).abs() > f64::EPSILON {
             self.ratio = ratio;
-            self.carry = 0.0;
+            self.anchor = now;
         }
     }
 
-    /// Whether a core cycle may execute at reference cycle `now`.
+    /// Reference offset of grid tick `m`: `⌊m·ratio⌋`, with float drift
+    /// guarded by the caller's fix-up loops.
+    #[inline]
+    fn tick_offset(m: u64, ratio: f64) -> u64 {
+        (m as f64 * ratio) as u64
+    }
+
+    /// The first grid cycle at or after `c` (ignoring the consumed-tick
+    /// gate). Pure in `c`.
+    fn grid_at_or_after(&self, c: Cycle) -> Cycle {
+        if self.ratio == 1.0 {
+            return c.max(self.anchor);
+        }
+        if c <= self.anchor {
+            return self.anchor;
+        }
+        let rel = c - self.anchor;
+        let mut m = (rel as f64 / self.ratio).ceil() as u64;
+        // ⌈rel/r⌉ lands within one tick of the answer; fix any float drift
+        // exactly (the loops run at most once in practice).
+        while Self::tick_offset(m, self.ratio) < rel {
+            m += 1;
+        }
+        while m > 0 && Self::tick_offset(m - 1, self.ratio) >= rel {
+            m -= 1;
+        }
+        self.anchor + Self::tick_offset(m, self.ratio)
+    }
+
+    /// Whether a core cycle may execute at reference cycle `now`: `now` is
+    /// on the tick grid and has not been consumed yet.
     pub fn ticks_at(&self, now: Cycle) -> bool {
-        now >= self.next_tick
+        now >= self.gate && self.grid_at_or_after(now) == now
     }
 
-    /// The earliest reference cycle at which the next core cycle fires.
-    pub fn next_tick(&self) -> Cycle {
-        self.next_tick
+    /// The earliest reference cycle after `now` at which a core cycle
+    /// fires. Pure in `now` (the same value however often it is asked).
+    pub fn next_tick_after(&self, now: Cycle) -> Cycle {
+        self.grid_at_or_after(now + 1).max(self.gate)
     }
 
-    /// Consumes the tick at `now` and schedules the next one `ratio`
-    /// reference cycles later (fractionally accumulated).
+    /// The earliest unconsumed tick at or after `c` — used to align wake
+    /// hints (an event computed for cycle `c` is actionable at the first
+    /// core cycle not before it).
+    pub fn align_wake(&self, c: Cycle) -> Cycle {
+        self.grid_at_or_after(c).max(self.gate)
+    }
+
+    /// Consumes the tick at `now`; `ticks_at(now)` must hold.
     pub fn advance(&mut self, now: Cycle) {
         debug_assert!(self.ticks_at(now));
-        let exact = self.ratio + self.carry;
-        let stride = exact.floor().max(1.0);
-        self.carry = exact - stride;
-        self.next_tick = now + stride as u64;
+        self.gate = now + 1;
     }
 
     /// A core-cycle latency expressed in reference cycles (rounded, at
     /// least 1). Used for fixed microarchitectural latencies (L1 hit,
     /// mispredict penalty) that are specified in core cycles.
     pub fn scaled(&self, core_cycles: u64) -> u64 {
+        if self.ratio == 1.0 {
+            // ×1.0 then round is the identity for any latency that fits in
+            // f64's integer range; skip the float round-trip on the path
+            // dispatch takes every core cycle.
+            return core_cycles.max(1);
+        }
         ((core_cycles as f64 * self.ratio).round() as u64).max(1)
     }
 }
@@ -240,7 +291,7 @@ mod tests {
         for n in 0..10u64 {
             assert!(c.ticks_at(Cycle(n)));
             c.advance(Cycle(n));
-            assert_eq!(c.next_tick(), Cycle(n + 1));
+            assert_eq!(c.next_tick_after(Cycle(n)), Cycle(n + 1));
         }
     }
 
@@ -248,12 +299,12 @@ mod tests {
     fn fractional_ratio_averages_exactly() {
         // Ratio 1.25 -> 100 core cycles must span 125 reference cycles.
         let mut c = CoreClock::nominal();
-        c.set_ratio(1.25);
+        c.set_ratio(Cycle::ZERO, 1.25);
         let mut now = Cycle(0);
         for _ in 0..100 {
             assert!(c.ticks_at(now));
             c.advance(now);
-            now = c.next_tick();
+            now = c.next_tick_after(now);
         }
         assert_eq!(now, Cycle(125));
     }
@@ -261,9 +312,9 @@ mod tests {
     #[test]
     fn half_frequency_doubles_strides() {
         let mut c = CoreClock::nominal();
-        c.set_ratio(2.0);
+        c.set_ratio(Cycle::ZERO, 2.0);
         c.advance(Cycle(0));
-        assert_eq!(c.next_tick(), Cycle(2));
+        assert_eq!(c.next_tick_after(Cycle(0)), Cycle(2));
         assert!(!c.ticks_at(Cycle(1)));
         assert!(c.ticks_at(Cycle(2)));
     }
@@ -272,20 +323,60 @@ mod tests {
     fn scaled_latencies_round_and_stay_positive() {
         let mut c = CoreClock::nominal();
         assert_eq!(c.scaled(2), 2);
-        c.set_ratio(1.25);
+        c.set_ratio(Cycle::ZERO, 1.25);
         assert_eq!(c.scaled(2), 3); // 2.5 rounds up
         assert_eq!(c.scaled(10), 13); // 12.5 rounds up
-        c.set_ratio(1.0);
+        c.set_ratio(Cycle::ZERO, 1.0);
         assert_eq!(c.scaled(1), 1);
     }
 
     #[test]
-    fn ratio_change_resets_carry() {
+    fn ratio_change_reanchors_the_grid() {
         let mut c = CoreClock::nominal();
-        c.set_ratio(1.5);
-        c.advance(Cycle(0)); // stride 1, carry 0.5
-        c.set_ratio(2.0); // carry cleared
-        c.advance(c.next_tick());
-        assert_eq!(c.next_tick(), Cycle(3), "stride 2 from cycle 1");
+        c.set_ratio(Cycle::ZERO, 1.5);
+        c.advance(Cycle(0)); // tick m=0 at cycle 0
+        assert_eq!(c.next_tick_after(Cycle(0)), Cycle(1), "⌊1·1.5⌋ = 1");
+        c.set_ratio(Cycle(10), 2.0); // new grid anchored at 10
+        assert_eq!(c.next_tick_after(Cycle(10)), Cycle(12));
+        assert!(c.ticks_at(Cycle(10)), "the anchor itself is on the grid");
+        assert!(!c.ticks_at(Cycle(11)));
+    }
+
+    #[test]
+    fn tick_schedule_is_pure_in_time() {
+        // Querying the schedule at arbitrary intermediate cycles must never
+        // change it: the wake-list stepper visits a sparse subset of cycles
+        // and must agree with the reference stepper visiting all of them.
+        let mut a = CoreClock::nominal();
+        let mut b = CoreClock::nominal();
+        a.set_ratio(Cycle::ZERO, 1.6);
+        b.set_ratio(Cycle::ZERO, 1.6);
+        let mut now = Cycle(0);
+        for _ in 0..125 {
+            // `b` is pestered with off-tick queries; `a` is not.
+            for probe in now.raw()..now.raw() + 3 {
+                let _ = b.ticks_at(Cycle(probe));
+                let _ = b.next_tick_after(Cycle(probe));
+            }
+            assert!(a.ticks_at(now));
+            assert!(b.ticks_at(now));
+            a.advance(now);
+            b.advance(now);
+            let (na, nb) = (a.next_tick_after(now), b.next_tick_after(now));
+            assert_eq!(na, nb);
+            now = na;
+        }
+        // Ratio 1.6 -> 125 core ticks span exactly ⌊125·1.6⌋ = 200 cycles.
+        assert_eq!(now, Cycle(200));
+    }
+
+    #[test]
+    fn same_cycle_double_advance_is_gated() {
+        let mut c = CoreClock::nominal();
+        assert!(c.ticks_at(Cycle(5)));
+        c.advance(Cycle(5));
+        assert!(!c.ticks_at(Cycle(5)), "a tick can only be consumed once");
+        assert!(c.ticks_at(Cycle(6)));
+        assert_eq!(c.align_wake(Cycle(5)), Cycle(6), "wake respects the gate");
     }
 }

@@ -17,9 +17,10 @@
 //!
 //! The model is driven by [`Core::step`], called by the system loop at
 //! monotonically non-decreasing cycles; a stalled core reports the next cycle
-//! at which progress is possible so the loop can fast-forward.
-
-use std::collections::VecDeque;
+//! at which progress is possible so the loop can fast-forward. The precise
+//! wake-list contract lives on [`StepOutcome`]; both the reference stepper
+//! (every core, every visited cycle) and the event-driven stepper (due cores
+//! only) in [`crate::stepper`] rely on it for bit-identical results.
 
 use memsim::mshr::MshrOutcome;
 use memsim::{Cache, CacheGeometry, MshrFile};
@@ -103,20 +104,98 @@ pub struct CoreStats {
 }
 
 /// Result of stepping a core one cycle.
+///
+/// # Wake-list contract
+///
+/// `next_event` is the backbone of the event-driven stepper: after a step at
+/// cycle `now`, the scheduler may skip the core until `next_event` without
+/// changing simulated behaviour. The producer guarantees:
+///
+/// * `next_event > now` — always strictly in the future;
+/// * if `progressed`, `next_event` is the core's next clock tick (`now + 1`
+///   at nominal frequency, further out when down-clocked);
+/// * if `!progressed`, no call to [`Core::step`] at any cycle in
+///   `(now, next_event)` can retire or dispatch an instruction, touch a
+///   cache, or access the LLC — such calls are observable no-ops (only the
+///   `rob_stalls`/`lsq_stalls` attempt counters, which sample per *attempt*,
+///   may differ between per-cycle and wake-list driving);
+/// * the estimate is exact, not conservative: at `next_event` itself the
+///   core either progresses or a new blocking condition is discovered and
+///   re-advertised (it never spins reporting `now + 1` while stalled on a
+///   known-future completion);
+/// * the estimate is *stable*: a no-op call at any cycle in
+///   `(now, next_event)` returns the same `next_event` again. Wakes are
+///   tick-aligned under DVFS dilation, so stepping every cycle (reference)
+///   and stepping only at advertised wakes (event-driven) visit the same
+///   progress cycles and produce bit-identical results.
+///
+/// [`Core::wake_hint`] recomputes the same bound without stepping, for
+/// refreshing stored wakes after a DVFS ratio change.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct StepOutcome {
     /// Whether any instruction was retired or dispatched this cycle.
     pub progressed: bool,
     /// Earliest cycle at which calling [`Core::step`] again can achieve
-    /// anything (the next core tick when progressing: `now + 1` at nominal
-    /// frequency, further out when down-clocked).
+    /// anything (see the wake-list contract above).
     pub next_event: Cycle,
 }
 
-#[derive(Debug, Clone, Copy)]
-struct RobEntry {
-    done: Cycle,
-    is_mem: bool,
+/// Fixed-capacity ring buffer of ROB entries, flattened into a contiguous
+/// `u64` slab: completion cycle in bits 1..64, the LSQ (`is_mem`) flag in
+/// bit 0. Replaces the pointer-hopping `VecDeque<RobEntry>` on the hot path.
+#[derive(Debug)]
+struct RobRing {
+    slots: Box<[u64]>,
+    head: usize,
+    len: usize,
+}
+
+impl RobRing {
+    fn new(capacity: usize) -> RobRing {
+        RobRing {
+            slots: vec![0; capacity.next_power_of_two().max(1)].into_boxed_slice(),
+            head: 0,
+            len: 0,
+        }
+    }
+
+    #[inline]
+    fn mask(&self) -> usize {
+        self.slots.len() - 1
+    }
+
+    #[inline]
+    fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Completion cycle of the oldest entry, if any.
+    #[inline]
+    fn front_done(&self) -> Option<Cycle> {
+        if self.len == 0 {
+            None
+        } else {
+            Some(Cycle(self.slots[self.head] >> 1))
+        }
+    }
+
+    #[inline]
+    fn pop_front(&mut self) -> (Cycle, bool) {
+        debug_assert!(self.len > 0);
+        let v = self.slots[self.head];
+        self.head = (self.head + 1) & self.mask();
+        self.len -= 1;
+        (Cycle(v >> 1), v & 1 != 0)
+    }
+
+    #[inline]
+    fn push_back(&mut self, done: Cycle, is_mem: bool) {
+        debug_assert!(self.len < self.slots.len());
+        debug_assert!(done.raw() < (1 << 63), "completion cycle fits in 63 bits");
+        let tail = (self.head + self.len) & self.mask();
+        self.slots[tail] = (done.raw() << 1) | is_mem as u64;
+        self.len += 1;
+    }
 }
 
 /// The core model. Owns its instruction source, L1 caches, branch predictor
@@ -125,7 +204,7 @@ pub struct Core {
     id: CoreId,
     cfg: CoreConfig,
     source: Box<dyn InstrSource + Send>,
-    rob: VecDeque<RobEntry>,
+    rob: RobRing,
     lsq_count: usize,
     fetch_stall_until: Cycle,
     mshr_stall_until: Cycle,
@@ -136,7 +215,13 @@ pub struct Core {
     bpred: Gshare,
     last_load_done: Cycle,
     last_iline: u64,
+    /// `log2(l1i line bytes)`, precomputed: the I-line check runs per
+    /// dispatched instruction and a 64-bit division there is measurable.
+    iline_shift: u32,
     clock: CoreClock,
+    /// Whether the last executed core cycle made progress (a fresh core is
+    /// runnable); drives [`Core::wake_hint`].
+    runnable: bool,
     stats: CoreStats,
 }
 
@@ -157,7 +242,7 @@ impl Core {
             id,
             cfg,
             source,
-            rob: VecDeque::with_capacity(cfg.rob_entries),
+            rob: RobRing::new(cfg.rob_entries),
             lsq_count: 0,
             fetch_stall_until: Cycle::ZERO,
             mshr_stall_until: Cycle::ZERO,
@@ -168,15 +253,20 @@ impl Core {
             bpred: Gshare::paper_default(),
             last_load_done: Cycle::ZERO,
             last_iline: u64::MAX,
+            iline_shift: cfg.l1i.line_bytes().trailing_zeros(),
             clock: CoreClock::nominal(),
+            runnable: true,
             stats: CoreStats::default(),
         }
     }
 
     /// Sets the core's clock-dilation ratio (`f_nom / f`, >= 1) for DVFS.
-    /// Takes effect from the next core cycle.
-    pub fn set_clock_ratio(&mut self, ratio: f64) {
-        self.clock.set_ratio(ratio);
+    /// The tick grid re-anchors at `now`, so the new frequency takes effect
+    /// from the next core cycle. After changing a ratio mid-run, refresh any
+    /// stored wake with [`Core::wake_hint`] — the previously advertised
+    /// `next_event` was computed on the old tick grid.
+    pub fn set_clock_ratio(&mut self, now: Cycle, ratio: f64) {
+        self.clock.set_ratio(now, ratio);
     }
 
     /// The current clock-dilation ratio (1.0 = nominal frequency).
@@ -217,38 +307,56 @@ impl Core {
     /// Advances the core by one cycle at time `now`.
     ///
     /// `now` must be non-decreasing across calls. Returns whether progress
-    /// was made and when to call again.
+    /// was made and when to call again; see [`StepOutcome`] for the contract
+    /// the returned `next_event` upholds. Callers honouring that contract
+    /// (stepping only at advertised wakes) observe bit-identical behaviour
+    /// to callers stepping every cycle.
     pub fn step(&mut self, now: Cycle, llc: &mut dyn LlcPort) -> StepOutcome {
         // DVFS gate: a down-clocked core only executes core cycles on its
-        // tick schedule; between ticks it reports when the next one fires.
+        // tick schedule; between ticks it reports its wake hint so that
+        // recomputing a stalled core's wake at any intermediate cycle
+        // reproduces the advertised one (the steppers' equivalence hinges
+        // on this).
         if !self.clock.ticks_at(now) {
             return StepOutcome {
                 progressed: false,
-                next_event: self.clock.next_tick(),
+                next_event: self.wake_hint(now),
             };
         }
         let retired = self.retire(now);
         let dispatched = self.dispatch(now, llc);
         let progressed = retired > 0 || dispatched > 0;
+        self.runnable = progressed;
         self.clock.advance(now);
-        let next_event = if progressed {
-            self.clock.next_tick()
-        } else {
-            self.next_wake(now).max(self.clock.next_tick())
-        };
         StepOutcome {
             progressed,
-            next_event,
+            next_event: self.wake_hint(now),
+        }
+    }
+
+    /// Recomputes the earliest useful cycle to step this core strictly after
+    /// `now`, without stepping it — the same bound [`Core::step`] advertises
+    /// as `next_event`. The event-driven stepper calls this to refresh
+    /// stored wakes after an epoch decision may have re-anchored the DVFS
+    /// clock grid; with an unchanged clock it returns exactly the stored
+    /// wake, so an unconditional refresh is behaviour-preserving.
+    pub fn wake_hint(&self, now: Cycle) -> Cycle {
+        if self.runnable {
+            // Last real step made progress: the core is due on its very next
+            // tick regardless of in-flight completions.
+            self.clock.next_tick_after(now)
+        } else {
+            self.clock.align_wake(self.next_wake(now))
         }
     }
 
     fn retire(&mut self, now: Cycle) -> u32 {
         let mut n = 0;
         while n < self.cfg.retire_width {
-            match self.rob.front() {
-                Some(e) if e.done <= now => {
-                    let e = self.rob.pop_front().expect("front exists");
-                    if e.is_mem {
+            match self.rob.front_done() {
+                Some(done) if done <= now => {
+                    let (_, is_mem) = self.rob.pop_front();
+                    if is_mem {
                         self.lsq_count -= 1;
                     }
                     self.stats.retired.inc();
@@ -279,7 +387,7 @@ impl Core {
                 None => self.source.next_instr(),
             };
             // Instruction-side: a new I-line may miss in the L1-I.
-            let iline = instr.pc / self.cfg.l1i.line_bytes();
+            let iline = instr.pc >> self.iline_shift;
             if iline != self.last_iline {
                 self.last_iline = iline;
                 let line = LineAddr::from_byte_addr(
@@ -301,17 +409,11 @@ impl Core {
             }
             match instr.kind {
                 InstrKind::Alu => {
-                    self.rob.push_back(RobEntry {
-                        done: now + 1,
-                        is_mem: false,
-                    });
+                    self.rob.push_back(now + 1, false);
                     n += 1;
                 }
                 InstrKind::Branch => {
-                    self.rob.push_back(RobEntry {
-                        done: now + 1,
-                        is_mem: false,
-                    });
+                    self.rob.push_back(now + 1, false);
                     n += 1;
                     if self.bpred.observe(instr.pc, instr.taken) {
                         self.fetch_stall_until = now + bp_penalty;
@@ -356,7 +458,7 @@ impl Core {
                     self.last_load_done = done;
                     self.stats.loads.inc();
                     self.lsq_count += 1;
-                    self.rob.push_back(RobEntry { done, is_mem: true });
+                    self.rob.push_back(done, true);
                     n += 1;
                 }
                 InstrKind::Store => {
@@ -389,10 +491,7 @@ impl Core {
                     }
                     self.stats.stores.inc();
                     self.lsq_count += 1;
-                    self.rob.push_back(RobEntry {
-                        done: now + 1,
-                        is_mem: true,
-                    });
+                    self.rob.push_back(now + 1, true);
                     n += 1;
                 }
             }
@@ -401,20 +500,42 @@ impl Core {
     }
 
     /// Earliest cycle at which a stalled core can make progress.
+    ///
+    /// Stability matters more than tightness here: under DVFS dilation the
+    /// core services a condition at the first *tick* at or after its raw
+    /// deadline, so for cycles in the window between the deadline and that
+    /// tick the condition is expired but not yet serviced. An expired
+    /// condition therefore contributes `now + 1` ("retry on the next tick")
+    /// rather than dropping out of the min — otherwise recomputing the wake
+    /// inside that window would jump past the actual service tick and the
+    /// steppers would diverge (see the [`StepOutcome`] contract).
     fn next_wake(&self, now: Cycle) -> Cycle {
         let mut wake = Cycle(u64::MAX);
-        if let Some(front) = self.rob.front() {
-            if front.done > now {
-                wake = wake.min(front.done);
-            }
+        if let Some(done) = self.rob.front_done() {
+            // A retirable head (`done <= now`) retires on the next tick.
+            wake = wake.min(done.max(now + 1));
         }
-        if self.fetch_stall_until > now {
+        let fetch_blocked = self.fetch_stall_until > now;
+        let mshr_blocked = self.mshr_stall_until > now;
+        if fetch_blocked {
             // Front-end redirect alone doesn't block retirement; but if the
             // ROB is empty nothing happens until fetch resumes.
-            wake = wake.min(self.fetch_stall_until.max(now + 1));
+            wake = wake.min(self.fetch_stall_until);
         }
-        if self.mshr_stall_until > now {
+        if mshr_blocked {
             wake = wake.min(self.mshr_stall_until);
+        }
+        // Structural blocks only clear when the ROB head retires (a full
+        // LSQ blocks only a pending memory op; anything else can dispatch).
+        let structural = self.rob.len() >= self.cfg.rob_entries
+            || (self.lsq_count >= self.cfg.lsq_entries
+                && self
+                    .pending
+                    .is_some_and(|p| matches!(p.kind, InstrKind::Load | InstrKind::Store)));
+        if !fetch_blocked && !mshr_blocked && !structural {
+            // Dispatch can be attempted on the very next tick (covers the
+            // expired-stall window a dilated clock has not serviced yet).
+            wake = wake.min(now + 1);
         }
         if wake == Cycle(u64::MAX) {
             // Nothing in flight and no stall: progress is possible next cycle.
@@ -637,7 +758,7 @@ mod tests {
         let cfg = CoreConfig::default();
         let mut fast = Core::new(CoreId(0), cfg, Box::new(make()));
         let mut slow = Core::new(CoreId(0), cfg, Box::new(make()));
-        slow.set_clock_ratio(2.0);
+        slow.set_clock_ratio(Cycle::ZERO, 2.0);
         let mut llc1 = FixedLlc::new(100);
         let mut llc2 = FixedLlc::new(100);
         run_for(&mut fast, &mut llc1, 10_000);
@@ -668,7 +789,7 @@ mod tests {
         let cfg = CoreConfig::default();
         let mut fast = Core::new(CoreId(0), cfg, Box::new(make()));
         let mut slow = Core::new(CoreId(0), cfg, Box::new(make()));
-        slow.set_clock_ratio(2.0);
+        slow.set_clock_ratio(Cycle::ZERO, 2.0);
         let mut llc1 = FixedLlc::new(400);
         let mut llc2 = FixedLlc::new(400);
         run_for(&mut fast, &mut llc1, 40_000);
@@ -686,7 +807,7 @@ mod tests {
     fn clock_ratio_roundtrip_and_gating() {
         let mut core = Core::new(CoreId(0), CoreConfig::default(), Box::new(|| Instr::alu(0)));
         assert_eq!(core.clock_ratio(), 1.0);
-        core.set_clock_ratio(1.6);
+        core.set_clock_ratio(Cycle::ZERO, 1.6);
         assert!((core.clock_ratio() - 1.6).abs() < 1e-12);
         let mut llc = FixedLlc::new(50);
         // Follow next_event until a core cycle makes progress (the first

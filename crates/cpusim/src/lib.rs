@@ -12,7 +12,9 @@
 //! hit rate and IPC is all the paper's evaluation needs from the core.
 //!
 //! Cores talk to the shared LLC through the [`LlcPort`] trait so the same
-//! core drives any of the five partitioning schemes.
+//! core drives any of the five partitioning schemes. The [`stepper`] module
+//! drives a set of cores against that port: a per-cycle reference stepper
+//! and a bit-identical event-driven wake-list scheduler.
 //!
 //! Per-core DVFS lives in [`clock`]: a [`VfTable`] of discrete V/f operating
 //! points plus the [`CoreClock`] dilation that stretches a down-clocked
@@ -23,9 +25,11 @@
 pub mod bpred;
 pub mod clock;
 pub mod core;
+pub mod stepper;
 pub mod trace;
 
 pub use bpred::{BranchStats, Gshare};
 pub use clock::{CoreClock, OperatingPoint, VfTable};
 pub use core::{Core, CoreConfig, CoreStats, LlcPort, StepOutcome};
+pub use stepper::{EpochControl, StepperKind, SystemStepper};
 pub use trace::{Instr, InstrKind, InstrSource, TraceError, TraceSource};

@@ -1,0 +1,211 @@
+//! System steppers: the reference per-cycle driver and the event-driven
+//! wake-list scheduler.
+//!
+//! Both steppers advance a set of [`Core`]s against a shared LLC port on the
+//! reference timeline and fire an epoch callback on a fixed cycle grid. The
+//! **reference** stepper calls [`Core::step`] on *every* core at every
+//! visited cycle — the obviously-correct formulation the equivalence goldens
+//! were recorded against. The **event-driven** stepper keeps a wake list of
+//! per-core `next_event` cycles and steps only cores that are due, batching
+//! micro-steps of a lone runnable core up to the next barrier (another
+//! core's wake or the epoch boundary).
+//!
+//! The two are bit-identical by construction: the [`crate::StepOutcome`]
+//! wake-list
+//! contract guarantees a skipped step is an observable no-op and that wakes
+//! are stable under recomputation, so both steppers perform the same
+//! progress work at the same cycles. `harness`'s differential suites
+//! (`cpusim/tests/stepper_reference.rs`, `harness/tests/equivalence.rs`)
+//! pin the equivalence across workloads, core counts and DVFS dilation.
+//!
+//! Cores are stepped in ascending index order within a cycle; LLC/DRAM state
+//! therefore evolves identically under both steppers.
+
+use simkit::types::Cycle;
+
+use crate::core::{Core, LlcPort};
+
+/// Which stepping algorithm drives the system loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StepperKind {
+    /// Step every core at every visited cycle (the documented reference).
+    Reference,
+    /// Step only cores whose advertised `next_event` has arrived.
+    #[default]
+    EventDriven,
+}
+
+/// Epoch callback verdict: keep simulating or return to the caller.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EpochControl {
+    /// Continue to the next event.
+    Continue,
+    /// Return immediately after this epoch (used by fixed-epoch drivers
+    /// like `inspect`); the stepper can be re-entered later.
+    Stop,
+}
+
+/// Drives cores, the shared LLC and the epoch grid; owns simulation time.
+///
+/// One stepper instance persists across phases (warmup, then measurement):
+/// `now`, the epoch anchor and the wake list all carry over, so a run is a
+/// single timeline regardless of how many [`SystemStepper::run`] calls
+/// sliced it.
+#[derive(Debug)]
+pub struct SystemStepper {
+    kind: StepperKind,
+    now: Cycle,
+    next_epoch: Cycle,
+    epoch_cycles: u64,
+    /// Per-core stored wake: the `next_event` from the core's last step
+    /// (event-driven only; lazily sized on first run).
+    wakes: Vec<Cycle>,
+}
+
+impl SystemStepper {
+    /// Creates a stepper at cycle 0 with the first epoch boundary one whole
+    /// epoch in.
+    pub fn new(kind: StepperKind, epoch_cycles: u64) -> SystemStepper {
+        assert!(epoch_cycles > 0, "epoch length must be positive");
+        SystemStepper {
+            kind,
+            now: Cycle::ZERO,
+            next_epoch: Cycle(epoch_cycles),
+            epoch_cycles,
+            wakes: Vec::new(),
+        }
+    }
+
+    /// Current simulation time (the cycle the next event will execute at).
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// The next epoch boundary cycle.
+    pub fn next_epoch(&self) -> Cycle {
+        self.next_epoch
+    }
+
+    /// Runs until every core `i` has retired at least `targets[i]`
+    /// instructions (or `now` reaches `max_cycles`), returning for each core
+    /// the cycle at which its target was first observed crossed.
+    ///
+    /// The epoch callback fires whenever `now` lands on the epoch grid —
+    /// *after* the cores due at that cycle have stepped — and may retune the
+    /// cores (partitioning, DVFS ratios); the stepper refreshes its wake
+    /// list afterwards via [`Core::wake_hint`]. Returning
+    /// [`EpochControl::Stop`] exits immediately (cores already stepped at
+    /// the boundary cycle; time has not advanced past it).
+    pub fn run<P, F>(
+        &mut self,
+        cores: &mut [Core],
+        port: &mut P,
+        targets: &[u64],
+        max_cycles: Cycle,
+        mut on_epoch: F,
+    ) -> Vec<Option<Cycle>>
+    where
+        P: LlcPort,
+        F: FnMut(Cycle, &mut [Core], &mut P) -> EpochControl,
+    {
+        let n = cores.len();
+        assert_eq!(targets.len(), n, "one retire target per core");
+        if self.wakes.len() != n {
+            // First run (or a changed core set): everyone is due now.
+            self.wakes = vec![self.now; n];
+        }
+        let mut finish: Vec<Option<Cycle>> = vec![None; n];
+        let mut remaining = n;
+        for i in 0..n {
+            if cores[i].retired() >= targets[i] {
+                finish[i] = Some(self.now);
+                remaining -= 1;
+            }
+        }
+
+        while remaining > 0 && self.now < max_cycles {
+            let now = self.now;
+            let epoch_due = now >= self.next_epoch;
+
+            // Fast path: exactly one core due, no epoch imminent — batch its
+            // micro-steps up to the next barrier without re-scanning.
+            if !epoch_due && self.kind == StepperKind::EventDriven {
+                if let Some(i) = self.lone_due_core(now) {
+                    let mut barrier = self.next_epoch;
+                    for (j, &w) in self.wakes.iter().enumerate() {
+                        if j != i {
+                            barrier = barrier.min(w);
+                        }
+                    }
+                    let mut t = now;
+                    loop {
+                        let out = cores[i].step(t, port);
+                        let w = out.next_event.max(t + 1);
+                        let advanced = w.min(barrier);
+                        if finish[i].is_none() && cores[i].retired() >= targets[i] {
+                            finish[i] = Some(advanced);
+                            remaining -= 1;
+                        }
+                        t = advanced;
+                        if remaining == 0 || t >= max_cycles || w >= barrier {
+                            self.wakes[i] = w;
+                            break;
+                        }
+                    }
+                    self.now = t;
+                    continue;
+                }
+            }
+
+            // General path: step every due core (event-driven) or every core
+            // (reference) in ascending index order.
+            for (i, core) in cores.iter_mut().enumerate() {
+                if self.kind == StepperKind::Reference || self.wakes[i] <= now {
+                    let out = core.step(now, port);
+                    self.wakes[i] = out.next_event.max(now + 1);
+                }
+            }
+
+            if epoch_due {
+                let control = on_epoch(now, cores, port);
+                self.next_epoch += self.epoch_cycles;
+                // The decision may have re-anchored DVFS clock grids; the
+                // hint equals the stored wake when a core's clock is
+                // untouched, so the blanket refresh is behaviour-preserving.
+                for (i, core) in cores.iter().enumerate() {
+                    self.wakes[i] = core.wake_hint(now);
+                }
+                if control == EpochControl::Stop {
+                    return finish;
+                }
+            }
+
+            let mut next = self.next_epoch;
+            for &w in &self.wakes {
+                next = next.min(w);
+            }
+            self.now = next.max(now + 1);
+            for i in 0..n {
+                if finish[i].is_none() && cores[i].retired() >= targets[i] {
+                    finish[i] = Some(self.now);
+                    remaining -= 1;
+                }
+            }
+        }
+        finish
+    }
+
+    /// Index of the only core due at `now`, if exactly one is.
+    fn lone_due_core(&self, now: Cycle) -> Option<usize> {
+        let mut due = None;
+        for (i, &w) in self.wakes.iter().enumerate() {
+            if w <= now {
+                if due.is_some() {
+                    return None;
+                }
+                due = Some(i);
+            }
+        }
+        due
+    }
+}

@@ -9,8 +9,8 @@
 //! each epoch line adds the chosen frequencies.
 use coop_core::{LlcConfig, PartitionedLlc, PolicySpec, SchemeKind};
 use coop_dvfs::DvfsPolicy;
-use cpusim::{Core, CoreConfig, LlcPort};
-use harness::{policy_registry, workload_registry};
+use cpusim::{Core, CoreConfig, EpochControl, LlcPort, StepperKind, SystemStepper};
+use harness::{drive_epoch, policy_registry, workload_registry};
 use memsim::{Dram, DramConfig};
 use simkit::types::{CoreId, Cycle, LineAddr};
 
@@ -114,71 +114,67 @@ fn main() {
     let nominal_ghz = (policy.as_ref() as &dyn std::any::Any)
         .downcast_ref::<DvfsPolicy>()
         .map_or(2.0, |p| p.controller().config().table.nominal().freq_ghz);
-    let mut now = Cycle::ZERO;
-    let mut next_epoch = Cycle(500_000);
-    let mut epoch = 0;
-    let mut last_retired = vec![0u64; cores.len()];
-    while epoch < epochs {
-        let mut next = Cycle(u64::MAX);
-        for c in &mut cores {
-            let mut port = Port {
-                llc: &mut llc,
-                dram: &mut dram,
-            };
-            let out = c.step(now, &mut port);
-            next = next.min(out.next_event);
-        }
-        if now >= next_epoch {
-            if curves {
-                for (i, name) in workload.member_names().iter().enumerate() {
-                    let c = llc.umon_curve(CoreId(i as u8));
-                    let m: Vec<String> =
-                        (0..=ways).map(|w| format!("{:.0}", c.misses(w))).collect();
-                    println!("e{epoch} {:8} curve: {}", name, m.join(" "));
+    // Run through the shared stepping API (one `stepper.run` call per
+    // watched epoch; the callback prints and returns `Stop`). The retire
+    // targets are unreachable — only the epoch count ends the loop.
+    let mut stepper = SystemStepper::new(StepperKind::default(), 500_000);
+    let targets = vec![u64::MAX; n];
+    let mut last_retired = vec![0u64; n];
+    for epoch in 0..epochs {
+        let mut port = Port {
+            llc: &mut llc,
+            dram: &mut dram,
+        };
+        stepper.run(
+            &mut cores,
+            &mut port,
+            &targets,
+            Cycle(u64::MAX),
+            |now, cores, port| {
+                if curves {
+                    for (i, name) in workload.member_names().iter().enumerate() {
+                        let c = port.llc.umon_curve(CoreId(i as u8));
+                        let m: Vec<String> =
+                            (0..=ways).map(|w| format!("{:.0}", c.misses(w))).collect();
+                        println!("e{epoch} {:8} curve: {}", name, m.join(" "));
+                    }
                 }
-            }
-            let retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
-            let obs = llc.epoch_observations(now, retired);
-            let decision = policy.on_epoch(&obs);
-            llc.apply_decision(now, &mut dram, &decision);
-            let mut ghz = vec![nominal_ghz; cores.len()];
-            if let Some(ratios) = &decision.hints.clock_ratios {
-                for ((core, &r), g) in cores.iter_mut().zip(ratios.iter()).zip(ghz.iter_mut()) {
-                    core.set_clock_ratio(r);
-                    *g = nominal_ghz / r;
+                let decision = drive_epoch(now, cores, port.llc, port.dram, policy.as_mut());
+                let mut ghz = vec![nominal_ghz; cores.len()];
+                if let Some(ratios) = &decision.hints.clock_ratios {
+                    for (&r, g) in ratios.iter().zip(ghz.iter_mut()) {
+                        *g = nominal_ghz / r;
+                    }
                 }
-            }
-            let ipcs: Vec<String> = cores
-                .iter()
-                .enumerate()
-                .map(|(i, c)| {
-                    let d = c.retired() - last_retired[i];
-                    last_retired[i] = c.retired();
-                    format!("{:.2}", d as f64 / 500_000.0)
-                })
-                .collect();
-            if dvfs_mode {
-                let ghz: Vec<String> = ghz.iter().map(|g| format!("{g:.1}")).collect();
-                println!(
-                    "e{epoch} alloc={:?} on={} ghz={:?} ipc={:?}",
-                    llc.current_allocation(),
-                    llc.ways_on(),
-                    ghz,
-                    ipcs
-                );
-            } else {
-                println!(
-                    "e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
-                    llc.ucp_quotas(),
-                    llc.current_allocation(),
-                    llc.ways_on(),
-                    ipcs
-                );
-            }
-            next_epoch = now + 500_000;
-            epoch += 1;
-        }
-        next = next.min(next_epoch);
-        now = next.max(now + 1);
+                let ipcs: Vec<String> = cores
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| {
+                        let d = c.retired() - last_retired[i];
+                        last_retired[i] = c.retired();
+                        format!("{:.2}", d as f64 / 500_000.0)
+                    })
+                    .collect();
+                if dvfs_mode {
+                    let ghz: Vec<String> = ghz.iter().map(|g| format!("{g:.1}")).collect();
+                    println!(
+                        "e{epoch} alloc={:?} on={} ghz={:?} ipc={:?}",
+                        port.llc.current_allocation(),
+                        port.llc.ways_on(),
+                        ghz,
+                        ipcs
+                    );
+                } else {
+                    println!(
+                        "e{epoch} quotas={:?} alloc={:?} on={} ipc={:?}",
+                        port.llc.ucp_quotas(),
+                        port.llc.current_allocation(),
+                        port.llc.ways_on(),
+                        ipcs
+                    );
+                }
+                EpochControl::Stop
+            },
+        );
     }
 }

@@ -25,9 +25,11 @@
 
 use coop_core::cpe::CpeProfile;
 use coop_core::policy::{DynamicCpePolicy, PartitionPolicy};
-use coop_core::{policy_for_scheme, LlcConfig, PartitionedLlc, PolicySpec, SchemeKind};
+use coop_core::{
+    policy_for_scheme, AllocationDecision, LlcConfig, PartitionedLlc, PolicySpec, SchemeKind,
+};
 use coop_dvfs::{DvfsConfig, DvfsPolicy, Residency};
-use cpusim::{Core, CoreConfig, LlcPort};
+use cpusim::{Core, CoreConfig, EpochControl, LlcPort, StepperKind, SystemStepper};
 use energy::{CoreEnergyParams, CoreEnergyReport, EnergyCounts, EnergyParams, EnergyReport};
 use memsim::{Dram, DramConfig};
 use serde::{Deserialize, Serialize};
@@ -170,6 +172,7 @@ pub struct SystemBuilder {
     core: CoreConfig,
     dram: DramConfig,
     core_power: Option<CoreEnergyParams>,
+    stepper: StepperKind,
 }
 
 impl Default for SystemBuilder {
@@ -185,6 +188,7 @@ impl Default for SystemBuilder {
             core: CoreConfig::default(),
             dram: DramConfig::default(),
             core_power: None,
+            stepper: StepperKind::default(),
         }
     }
 }
@@ -272,6 +276,14 @@ impl SystemBuilder {
         self
     }
 
+    /// Which stepping algorithm drives the system loop (default
+    /// [`StepperKind::EventDriven`]; the per-cycle reference stepper is
+    /// kept for equivalence checking).
+    pub fn stepper(mut self, kind: StepperKind) -> Self {
+        self.stepper = kind;
+        self
+    }
+
     /// Builds the system, or reports an unresolvable policy name or
     /// workload spec (either error lists what is registered).
     pub fn try_build(self) -> Result<System, BuildError> {
@@ -325,7 +337,7 @@ impl SystemBuilder {
             core_power,
             dvfs: None,
         };
-        Ok(System::assemble(cfg, policy, workload))
+        Ok(System::assemble(cfg, policy, workload, self.stepper))
     }
 
     /// Builds the system.
@@ -427,15 +439,12 @@ pub struct System {
     cores: Vec<Core>,
     llc: PartitionedLlc,
     dram: Dram,
-    now: Cycle,
     /// The allocation policy driving the epochs.
     policy: Box<dyn PartitionPolicy>,
     /// Label of the workload on the cores (reported in `RunResult`).
     workload_label: String,
-    /// Sum of per-core way targets over measured epochs + the epoch count
-    /// (for `RunResult::avg_ways_owned`).
-    way_occupancy: (Vec<u64>, u64),
-    measuring: bool,
+    /// Which stepping algorithm drives the run.
+    stepper: StepperKind,
 }
 
 struct SharedMem<'a> {
@@ -480,7 +489,7 @@ impl System {
             None => policy_for_scheme(cfg.llc.scheme, &cfg.llc),
         };
         let workload = ResolvedWorkload::from_benchmarks(&cfg.benchmarks);
-        System::assemble(cfg, policy, workload)
+        System::assemble(cfg, policy, workload, StepperKind::default())
     }
 
     /// Assembles cores, the enforcement mechanism and DRAM around
@@ -489,6 +498,7 @@ impl System {
         cfg: SystemConfig,
         policy: Box<dyn PartitionPolicy>,
         workload: ResolvedWorkload,
+        stepper: StepperKind,
     ) -> System {
         let n = workload.cores();
         let cores = workload
@@ -504,26 +514,11 @@ impl System {
             cores,
             llc: PartitionedLlc::for_policy(cfg.llc, n, policy.as_ref()),
             dram: Dram::new(cfg.dram),
-            now: Cycle::ZERO,
             policy,
             workload_label: workload.label,
-            way_occupancy: (vec![0; n], 0),
-            measuring: false,
+            stepper,
             cfg,
         }
-    }
-
-    /// Cumulative per-core LLC misses (for per-epoch observations).
-    fn llc_misses(&self) -> Vec<u64> {
-        (0..self.cores.len())
-            .map(|i| self.llc.stats().per_core[i].misses.get())
-            .collect()
-    }
-
-    /// The policy as the concrete DVFS type, when it is one (residency
-    /// accounting needs the controller's books).
-    fn dvfs_mut(&mut self) -> Option<&mut DvfsPolicy> {
-        (self.policy.as_mut() as &mut dyn std::any::Any).downcast_mut::<DvfsPolicy>()
     }
 
     /// Installs the Dynamic CPE solo profile (no-op for other policies).
@@ -542,54 +537,95 @@ impl System {
     /// application is then measured over its next `instrs_per_app`
     /// instructions; all applications keep running (and keep contending for
     /// the cache) until the slowest reaches its target.
-    pub fn run(mut self) -> RunResult {
-        let n = self.cores.len();
-        let scale = self.cfg.scale;
+    pub fn run(self) -> RunResult {
         let uses_umon = self.policy.uses_umon();
+        let System {
+            cfg,
+            mut cores,
+            mut llc,
+            mut dram,
+            mut policy,
+            workload_label,
+            stepper: kind,
+        } = self;
+        let n = cores.len();
+        let scale = cfg.scale;
+        let mut stepper = SystemStepper::new(kind, cfg.llc.epoch_cycles);
+        // Sum of per-core way targets over measured epochs + the epoch
+        // count (for `RunResult::avg_ways_owned`).
+        let mut way_occupancy: (Vec<u64>, u64) = (vec![0; n], 0);
 
         // ---- Warm-up ----------------------------------------------------
-        let mut next_epoch = Cycle(self.cfg.llc.epoch_cycles);
-        let mut epoch_curves: Vec<coop_core::MissCurve> = Vec::new();
-        while self.cores.iter().any(|c| c.retired() < scale.warmup_instrs)
-            && self.now < Cycle(scale.max_cycles / 2)
         {
-            self.step_all(&mut next_epoch, &mut epoch_curves, false);
+            let mut port = SharedMem {
+                llc: &mut llc,
+                dram: &mut dram,
+            };
+            let warm_targets = vec![scale.warmup_instrs; n];
+            let policy = &mut policy;
+            stepper.run(
+                &mut cores,
+                &mut port,
+                &warm_targets,
+                Cycle(scale.max_cycles / 2),
+                |now, cores, port| {
+                    drive_epoch(now, cores, port.llc, port.dram, policy.as_mut());
+                    EpochControl::Continue
+                },
+            );
         }
 
         // ---- Measurement window ----------------------------------------
-        let window_start = self.now;
-        self.measuring = true;
+        let window_start = stepper.now();
         // Book the warm-up tail at the current operating points so the
         // residency window starts exactly here.
-        let base_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
-        let base_misses = self.llc_misses();
-        let dvfs_books_base: Option<Residency> = self.dvfs_mut().map(|p| {
+        let base_retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
+        let base_misses = llc_misses(&llc, n);
+        let dvfs_books_base: Option<Residency> = dvfs_of(policy.as_mut()).map(|p| {
             let ctl = p.controller_mut();
             ctl.settle(window_start, &base_retired, &base_misses);
             ctl.books().clone()
         });
         let base_accesses: Vec<u64> = (0..n)
-            .map(|i| self.llc.stats().per_core[i].accesses.get())
+            .map(|i| llc.stats().per_core[i].accesses.get())
             .collect();
-        let base_flush = self.llc.stats().flush_lines.get();
-        let base_counts = self.llc.energy_counts(self.now);
+        let base_flush = llc.stats().flush_lines.get();
+        let base_counts = llc.energy_counts(window_start);
 
         let target: Vec<u64> = base_retired
             .iter()
             .map(|&b| b + scale.instrs_per_app)
             .collect();
-        let mut finish: Vec<Option<Cycle>> = vec![None; n];
-        epoch_curves.clear();
+        let mut epoch_curves: Vec<coop_core::MissCurve> = Vec::new();
 
-        while finish.iter().any(|f| f.is_none()) && self.now < Cycle(scale.max_cycles) {
-            self.step_all(&mut next_epoch, &mut epoch_curves, uses_umon);
-            for i in 0..n {
-                if finish[i].is_none() && self.cores[i].retired() >= target[i] {
-                    finish[i] = Some(self.now);
-                }
-            }
-        }
-        let end = self.now;
+        let mut finish = {
+            let mut port = SharedMem {
+                llc: &mut llc,
+                dram: &mut dram,
+            };
+            let policy = &mut policy;
+            let epoch_curves = &mut epoch_curves;
+            let way_occupancy = &mut way_occupancy;
+            stepper.run(
+                &mut cores,
+                &mut port,
+                &target,
+                Cycle(scale.max_cycles),
+                |now, cores, port| {
+                    if uses_umon {
+                        epoch_curves.push(port.llc.umon_curve(CoreId(0)));
+                    }
+                    drive_epoch(now, cores, port.llc, port.dram, policy.as_mut());
+                    let alloc = port.llc.current_allocation();
+                    for (acc, w) in way_occupancy.0.iter_mut().zip(alloc) {
+                        *acc += w as u64;
+                    }
+                    way_occupancy.1 += 1;
+                    EpochControl::Continue
+                },
+            )
+        };
+        let end = stepper.now();
         for f in &mut finish {
             // A run capped by max_cycles reports the cap (flagged by tests).
             f.get_or_insert(end);
@@ -604,25 +640,23 @@ impl System {
             .collect();
         let kilo = scale.instrs_per_app as f64 / 1000.0;
         let mpki: Vec<f64> = (0..n)
-            .map(|i| (self.llc.stats().per_core[i].misses.get() - base_misses[i]) as f64 / kilo)
+            .map(|i| (llc.stats().per_core[i].misses.get() - base_misses[i]) as f64 / kilo)
             .collect();
         let apki: Vec<f64> = (0..n)
-            .map(|i| (self.llc.stats().per_core[i].accesses.get() - base_accesses[i]) as f64 / kilo)
+            .map(|i| (llc.stats().per_core[i].accesses.get() - base_accesses[i]) as f64 / kilo)
             .collect();
         let accesses: Vec<u64> = (0..n)
-            .map(|i| self.llc.stats().per_core[i].accesses.get() - base_accesses[i])
+            .map(|i| llc.stats().per_core[i].accesses.get() - base_accesses[i])
             .collect();
-        let counts = minus(self.llc.energy_counts(end), base_counts);
-        let params =
-            EnergyParams::for_llc(self.cfg.llc.geom.size_bytes(), self.cfg.llc.geom.ways());
-        let flush_series_ts = self.llc.stats().flush_series.clone();
+        let counts = minus(llc.energy_counts(end), base_counts);
+        let params = EnergyParams::for_llc(cfg.llc.geom.size_bytes(), cfg.llc.geom.ways());
+        let flush_series_ts = llc.stats().flush_series.clone();
 
         // ---- Core-side energy and frequency residency -------------------
-        let final_retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
-        let final_misses = self.llc_misses();
+        let final_retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
+        let final_misses = llc_misses(&llc, n);
         let dvfs_window = dvfs_books_base.map(|base| {
-            let ctl = self
-                .dvfs_mut()
+            let ctl = dvfs_of(policy.as_mut())
                 .expect("the window-start books came from a DVFS policy")
                 .controller_mut();
             ctl.settle(end, &final_retired, &final_misses);
@@ -651,7 +685,7 @@ impl System {
             Some(report) => report,
             None => {
                 // Every core at nominal V/f for the whole window.
-                let p = self.cfg.core_power;
+                let p = cfg.core_power;
                 let window_ns = (end - window_start) as f64 / params.clock_ghz;
                 let dynamic_nj: f64 = (0..n)
                     .map(|i| {
@@ -671,38 +705,34 @@ impl System {
             }
         };
         let avg_ways_owned: Vec<f64> = {
-            let (sums, epochs) = &self.way_occupancy;
+            let (sums, epochs) = &way_occupancy;
             if *epochs == 0 {
-                self.llc
-                    .current_allocation()
-                    .iter()
-                    .map(|&w| w as f64)
-                    .collect()
+                llc.current_allocation().iter().map(|&w| w as f64).collect()
             } else {
                 sums.iter().map(|&s| s as f64 / *epochs as f64).collect()
             }
         };
 
         RunResult {
-            policy: self.policy.name().to_string(),
-            label: self.policy.label().to_string(),
-            workload: self.workload_label.clone(),
+            policy: policy.name().to_string(),
+            label: policy.label().to_string(),
+            workload: workload_label,
             ipc,
             mpki,
             apki,
             accesses,
             counts,
             energy: params.evaluate(&counts),
-            avg_ways: self.llc.avg_ways_consulted(),
+            avg_ways: llc.avg_ways_consulted(),
             cycles: end - window_start,
-            cp_transfer_durations: self.llc.takeover().durations().to_vec(),
-            ucp_transfer_durations: self.llc.ucp_transfer_durations().to_vec(),
-            takeover_events: self.llc.takeover().event_counts(),
-            forced_transfers: self.llc.takeover().forced_count(),
-            flush_lines: self.llc.stats().flush_lines.get() - base_flush,
+            cp_transfer_durations: llc.takeover().durations().to_vec(),
+            ucp_transfer_durations: llc.ucp_transfer_durations().to_vec(),
+            takeover_events: llc.takeover().event_counts(),
+            forced_transfers: llc.takeover().forced_count(),
+            flush_lines: llc.stats().flush_lines.get() - base_flush,
             flush_series: flush_series_ts.values().to_vec(),
             flush_bucket: flush_series_ts.bucket_cycles(),
-            repartitions: self.llc.stats().repartitions.get(),
+            repartitions: llc.stats().repartitions.get(),
             epoch_curves,
             core_energy,
             avg_freq_ghz,
@@ -710,52 +740,45 @@ impl System {
             avg_ways_owned,
         }
     }
+}
 
-    /// Steps every core once at `now`, fires the epoch controller, and
-    /// advances time (fast-forwarding when every core is stalled).
-    fn step_all(
-        &mut self,
-        next_epoch: &mut Cycle,
-        epoch_curves: &mut Vec<coop_core::MissCurve>,
-        snapshot_curves: bool,
-    ) {
-        let mut next = Cycle(u64::MAX);
-        for core in &mut self.cores {
-            let mut port = SharedMem {
-                llc: &mut self.llc,
-                dram: &mut self.dram,
-            };
-            let out = core.step(self.now, &mut port);
-            next = next.min(out.next_event);
+/// One epoch of the shared control loop: reads the epoch observations,
+/// asks the policy for a decision, applies way targets through the LLC's
+/// enforcement mode and clock-ratio hints through the cores.
+///
+/// This is *the* epoch semantics — [`System::run`] and the `inspect` binary
+/// both call it, so a policy's decisions (including DVFS clock hints) take
+/// effect identically everywhere.
+pub fn drive_epoch(
+    now: Cycle,
+    cores: &mut [Core],
+    llc: &mut PartitionedLlc,
+    dram: &mut Dram,
+    policy: &mut dyn PartitionPolicy,
+) -> AllocationDecision {
+    let retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
+    let obs = llc.epoch_observations(now, retired);
+    let decision = policy.on_epoch(&obs);
+    llc.apply_decision(now, dram, &decision);
+    if let Some(ratios) = &decision.hints.clock_ratios {
+        for (core, &r) in cores.iter_mut().zip(ratios.iter()) {
+            core.set_clock_ratio(now, r);
         }
-        if self.now >= *next_epoch {
-            if snapshot_curves {
-                epoch_curves.push(self.llc.umon_curve(CoreId(0)));
-            }
-            // Policy decision over this epoch's observations; the LLC's
-            // enforcement mode applies the way targets, and any clock hints
-            // reach the cores.
-            let retired: Vec<u64> = self.cores.iter().map(|c| c.retired()).collect();
-            let obs = self.llc.epoch_observations(self.now, retired);
-            let decision = self.policy.on_epoch(&obs);
-            self.llc.apply_decision(self.now, &mut self.dram, &decision);
-            if let Some(ratios) = &decision.hints.clock_ratios {
-                for (core, &r) in self.cores.iter_mut().zip(ratios.iter()) {
-                    core.set_clock_ratio(r);
-                }
-            }
-            if self.measuring {
-                let alloc = self.llc.current_allocation();
-                for (acc, w) in self.way_occupancy.0.iter_mut().zip(alloc) {
-                    *acc += w as u64;
-                }
-                self.way_occupancy.1 += 1;
-            }
-            *next_epoch = self.now + self.cfg.llc.epoch_cycles;
-        }
-        next = next.min(*next_epoch);
-        self.now = next.max(self.now + 1);
     }
+    decision
+}
+
+/// Cumulative per-core LLC misses (for per-epoch observations).
+fn llc_misses(llc: &PartitionedLlc, n: usize) -> Vec<u64> {
+    (0..n)
+        .map(|i| llc.stats().per_core[i].misses.get())
+        .collect()
+}
+
+/// The policy as the concrete DVFS type, when it is one (residency
+/// accounting needs the controller's books).
+fn dvfs_of(policy: &mut dyn PartitionPolicy) -> Option<&mut DvfsPolicy> {
+    (policy as &mut dyn std::any::Any).downcast_mut::<DvfsPolicy>()
 }
 
 fn minus(a: EnergyCounts, b: EnergyCounts) -> EnergyCounts {

@@ -17,6 +17,7 @@
 //! pins the string-keyed workload path to the same goldens, via both
 //! `run_group` and the `SystemBuilder::workload` spec entry point.
 
+use cpusim::StepperKind;
 use harness::experiments::run_group;
 use harness::{workload_registry, SimScale, System};
 use workloads::ResolvedWorkload;
@@ -159,6 +160,52 @@ fn trait_dispatch_reproduces_pre_redesign_goldens_bit_identically() {
         let r = run_group(&group, golden.policy, SimScale::quick());
         check(golden, &r);
     }
+}
+
+/// Runs one configuration under both steppers and demands bit-identical
+/// results. `Debug` formatting of [`harness::RunResult`] covers every field
+/// (floats print their shortest round-trip form, so equal strings means
+/// equal bits); on divergence only the first differing region is shown.
+fn assert_steppers_agree(workload: &str, policy: &str) {
+    let run = |kind: StepperKind| {
+        let r = System::builder()
+            .workload(workload)
+            .policy(policy)
+            .scale(SimScale::quick())
+            .stepper(kind)
+            .build()
+            .run();
+        format!("{r:?}")
+    };
+    let reference = run(StepperKind::Reference);
+    let event_driven = run(StepperKind::EventDriven);
+    if reference != event_driven {
+        let at = reference
+            .bytes()
+            .zip(event_driven.bytes())
+            .position(|(a, b)| a != b)
+            .unwrap_or(reference.len().min(event_driven.len()));
+        let lo = at.saturating_sub(80);
+        panic!(
+            "{workload}/{policy}: steppers diverge near byte {at}:\n reference:    ...{}\n event-driven: ...{}",
+            &reference[lo..(at + 80).min(reference.len())],
+            &event_driven[lo..(at + 80).min(event_driven.len())],
+        );
+    }
+}
+
+#[test]
+fn reference_and_event_driven_steppers_are_bit_identical() {
+    // Every scheme family over G2-1, including the DVFS policy whose
+    // per-epoch clock dilation is the hardest case for wake-list stepping.
+    for policy in ["unmanaged", "fair", "ucp", "cooperative", "dvfs"] {
+        assert_steppers_agree("G2-1", policy);
+    }
+}
+
+#[test]
+fn steppers_agree_on_a_four_core_dvfs_mix() {
+    assert_steppers_agree("G4-1", "dvfs");
 }
 
 #[test]

@@ -142,6 +142,18 @@ impl MshrFile {
             .filter(|&c| c != UNSCHEDULED)
     }
 
+    /// Earliest scheduled fill strictly after `now`, if any — the MSHR
+    /// file's contribution to a wake-list entry: a requester stalled on a
+    /// full file can next make progress when this fill lands. Pure (no
+    /// expiry side effects), so schedulers may poll it freely.
+    pub fn next_completion(&self, now: Cycle) -> Option<Cycle> {
+        self.entries
+            .values()
+            .copied()
+            .filter(|&c| c > now && c != UNSCHEDULED)
+            .min()
+    }
+
     /// Drops entries that completed at or before `now`, cheapest-first off
     /// the heap. The map-value guard skips heap pairs made stale by a line
     /// being re-allocated after its previous fill expired.
@@ -211,6 +223,31 @@ mod tests {
         m.set_completion(la(1), Cycle(50));
         // After completion, a new miss to the same line allocates afresh.
         assert_eq!(m.begin(Cycle(60), la(1)), MshrOutcome::Allocated);
+    }
+
+    #[test]
+    fn next_completion_tracks_earliest_inflight_fill() {
+        let mut m = MshrFile::new(4);
+        assert_eq!(m.next_completion(Cycle(0)), None);
+        m.begin(Cycle(0), la(1));
+        m.set_completion(la(1), Cycle(300));
+        m.begin(Cycle(0), la(2));
+        m.set_completion(la(2), Cycle(120));
+        assert_eq!(m.next_completion(Cycle(0)), Some(Cycle(120)));
+        // Matches the Full() back-pressure hint for a stalled requester.
+        m.begin(Cycle(0), la(3));
+        m.set_completion(la(3), Cycle(500));
+        m.begin(Cycle(0), la(4));
+        m.set_completion(la(4), Cycle(501));
+        match m.begin(Cycle(10), la(5)) {
+            MshrOutcome::Full(hint) => {
+                assert_eq!(Some(hint), m.next_completion(Cycle(10)));
+            }
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Past the earliest fill, only later ones remain.
+        assert_eq!(m.next_completion(Cycle(120)), Some(Cycle(300)));
+        assert_eq!(m.next_completion(Cycle(501)), None);
     }
 
     #[test]

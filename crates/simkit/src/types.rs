@@ -135,7 +135,9 @@ impl LineAddr {
     #[inline]
     pub fn from_byte_addr(core: CoreId, byte_addr: u64, line_bytes: u64) -> LineAddr {
         debug_assert!(line_bytes.is_power_of_two());
-        let line = byte_addr / line_bytes;
+        // `line_bytes` is a power of two but not a compile-time constant, so
+        // spell the division as a shift — this runs on every cache access.
+        let line = byte_addr >> line_bytes.trailing_zeros();
         LineAddr(line | ((core.0 as u64) << 56))
     }
 

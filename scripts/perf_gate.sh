@@ -1,0 +1,48 @@
+#!/usr/bin/env bash
+# Performance gate: fail when simulation throughput regresses more than 20%
+# below the recorded snapshot.
+#
+# Runs `repro fig5_10 --scale quick` (release), parses the `perf:` lines
+# (e.g. `perf: 8.3s simulate · 1603k LLC accesses · 193k/s`), takes the
+# highest accesses-per-second figure, and compares it against the first
+# `accesses_per_second` snapshot in BENCH_6.json's "after" block. Counts
+# use the harness's own suffixes: plain integers, `NNNk`, or `N.NM`.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BASELINE=$(sed -n '/"after"/,$p' BENCH_6.json | grep -o '"accesses_per_second": *[0-9]*' | head -1 | grep -o '[0-9]*$')
+if [ -z "${BASELINE}" ]; then
+  echo "perf_gate: no accesses_per_second snapshot in BENCH_6.json" >&2
+  exit 1
+fi
+
+OUT=$(cargo run --release -q -p harness --bin repro -- fig5_10 --scale quick)
+if ! echo "${OUT}" | grep -q 'perf:'; then
+  echo "perf_gate: repro printed no perf: lines" >&2
+  exit 1
+fi
+
+# 193k/s, 1.2M/s or 9500/s -> integer accesses per second.
+to_num() {
+  case "$1" in
+    *M) awk -v v="${1%M}" 'BEGIN { printf "%d", v * 1000000 }' ;;
+    *k) awk -v v="${1%k}" 'BEGIN { printf "%d", v * 1000 }' ;;
+    *) printf '%d' "$1" ;;
+  esac
+}
+
+BEST=0
+while read -r rate; do
+  n=$(to_num "${rate}")
+  if [ "${n}" -gt "${BEST}" ]; then
+    BEST=${n}
+  fi
+done < <(echo "${OUT}" | sed -n 's|.*· \([0-9.]*[kM]\{0,1\}\)/s$|\1|p')
+
+THRESH=$((BASELINE * 80 / 100))
+echo "perf_gate: measured ${BEST} accesses/s, snapshot ${BASELINE}, floor ${THRESH}"
+if [ "${BEST}" -lt "${THRESH}" ]; then
+  echo "perf_gate: FAIL — throughput is more than 20% below the BENCH_6.json snapshot" >&2
+  exit 1
+fi
+echo "perf_gate: OK"
