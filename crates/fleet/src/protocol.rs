@@ -1,0 +1,321 @@
+//! The line-delimited JSON worker protocol.
+//!
+//! The orchestrator spawns worker processes (`repro worker`) and speaks
+//! NDJSON over their stdin/stdout: one JSON object per line, each carrying
+//! a `"type"` tag. Worker stderr passes through untouched for diagnostics.
+//!
+//! Orchestrator → worker:
+//!
+//! | type     | fields                                   | meaning          |
+//! |----------|------------------------------------------|------------------|
+//! | `assign` | `shard_id`, `shard_index`, `cells: [...]`| run this shard   |
+//! | `exit`   |                                          | drain and quit   |
+//!
+//! Worker → orchestrator:
+//!
+//! | type         | fields                                        | meaning                    |
+//! |--------------|-----------------------------------------------|----------------------------|
+//! | `ready`      | `pid`                                         | idle, send work            |
+//! | `heartbeat`  | `shard_id`                                    | still computing            |
+//! | `cell_done`  | `shard_id`, `cell_id`, `wall_ms`, `accesses`, `payload` | one finished cell |
+//! | `cell_error` | `shard_id`, `cell_id`, `message`              | cell failed (not retried on this worker) |
+//! | `shard_done` | `shard_id`                                    | shard finished, idle again |
+//!
+//! Unknown message types are a protocol error — the orchestrator treats
+//! the worker as corrupt and recycles it — so the protocol can grow
+//! without old orchestrators silently dropping new messages.
+
+use crate::cell::CellSpec;
+use crate::json::{self, Value};
+
+/// Messages the orchestrator sends to a worker.
+#[derive(Debug, Clone)]
+pub enum ToWorker {
+    /// Run this shard.
+    Assign {
+        /// Content-hashed shard ID.
+        shard_id: String,
+        /// Shard ordinal in the plan (fault-injection targets may use it).
+        shard_index: usize,
+        /// Member cells.
+        cells: Vec<CellSpec>,
+    },
+    /// Finish up and exit cleanly.
+    Exit,
+}
+
+impl ToWorker {
+    /// One NDJSON line (newline included).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            ToWorker::Assign {
+                shard_id,
+                shard_index,
+                cells,
+            } => json::obj(vec![
+                ("type", json::str("assign")),
+                ("shard_id", json::str(shard_id)),
+                ("shard_index", json::num_u64(*shard_index as u64)),
+                (
+                    "cells",
+                    Value::Arr(cells.iter().map(|c| c.to_value()).collect()),
+                ),
+            ]),
+            ToWorker::Exit => json::obj(vec![("type", json::str("exit"))]),
+        };
+        let mut line = v.render();
+        line.push('\n');
+        line
+    }
+
+    /// Parses one line.
+    pub fn from_line(line: &str) -> Result<ToWorker, String> {
+        let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        match v.get("type").and_then(Value::as_str) {
+            Some("assign") => {
+                let cells = v
+                    .get("cells")
+                    .and_then(Value::as_arr)
+                    .ok_or("assign without cells")?
+                    .iter()
+                    .map(CellSpec::from_value)
+                    .collect::<Result<Vec<_>, _>>()?;
+                Ok(ToWorker::Assign {
+                    shard_id: v
+                        .get("shard_id")
+                        .and_then(Value::as_str)
+                        .ok_or("assign without shard_id")?
+                        .to_string(),
+                    shard_index: v
+                        .get("shard_index")
+                        .and_then(Value::as_usize)
+                        .ok_or("assign without shard_index")?,
+                    cells,
+                })
+            }
+            Some("exit") => Ok(ToWorker::Exit),
+            Some(other) => Err(format!("unknown orchestrator message '{other}'")),
+            None => Err("orchestrator message without a type".to_string()),
+        }
+    }
+}
+
+/// Messages a worker sends to the orchestrator.
+#[derive(Debug, Clone)]
+pub enum FromWorker {
+    /// The worker is idle and wants a shard.
+    Ready {
+        /// Worker process ID (for the status display).
+        pid: u32,
+    },
+    /// Liveness signal while a shard computes.
+    Heartbeat {
+        /// The shard being computed.
+        shard_id: String,
+    },
+    /// One cell of the current shard finished.
+    CellDone {
+        /// The shard being computed.
+        shard_id: String,
+        /// Content-hashed cell ID.
+        cell_id: String,
+        /// Wall-clock the cell took on the worker, in milliseconds.
+        wall_ms: u64,
+        /// LLC demand accesses the cell simulated (aggregate-throughput
+        /// accounting).
+        accesses: u64,
+        /// The harness result payload (opaque to the fleet layer).
+        payload: Value,
+    },
+    /// One cell failed on the worker (bad spec, harness panic caught at
+    /// the cell boundary).
+    CellError {
+        /// The shard being computed.
+        shard_id: String,
+        /// Content-hashed cell ID.
+        cell_id: String,
+        /// Human-readable failure description.
+        message: String,
+    },
+    /// The current shard is complete; the worker is idle again.
+    ShardDone {
+        /// The finished shard.
+        shard_id: String,
+    },
+}
+
+impl FromWorker {
+    /// One NDJSON line (newline included).
+    pub fn to_line(&self) -> String {
+        let v = match self {
+            FromWorker::Ready { pid } => json::obj(vec![
+                ("type", json::str("ready")),
+                ("pid", json::num_u64(*pid as u64)),
+            ]),
+            FromWorker::Heartbeat { shard_id } => json::obj(vec![
+                ("type", json::str("heartbeat")),
+                ("shard_id", json::str(shard_id)),
+            ]),
+            FromWorker::CellDone {
+                shard_id,
+                cell_id,
+                wall_ms,
+                accesses,
+                payload,
+            } => json::obj(vec![
+                ("type", json::str("cell_done")),
+                ("shard_id", json::str(shard_id)),
+                ("cell_id", json::str(cell_id)),
+                ("wall_ms", json::num_u64(*wall_ms)),
+                ("accesses", json::num_u64(*accesses)),
+                ("payload", payload.clone()),
+            ]),
+            FromWorker::CellError {
+                shard_id,
+                cell_id,
+                message,
+            } => json::obj(vec![
+                ("type", json::str("cell_error")),
+                ("shard_id", json::str(shard_id)),
+                ("cell_id", json::str(cell_id)),
+                ("message", json::str(message)),
+            ]),
+            FromWorker::ShardDone { shard_id } => json::obj(vec![
+                ("type", json::str("shard_done")),
+                ("shard_id", json::str(shard_id)),
+            ]),
+        };
+        let mut line = v.render();
+        line.push('\n');
+        line
+    }
+
+    /// Parses one line.
+    pub fn from_line(line: &str) -> Result<FromWorker, String> {
+        let v = json::parse(line.trim()).map_err(|e| e.to_string())?;
+        let shard = |v: &Value| -> Result<String, String> {
+            Ok(v.get("shard_id")
+                .and_then(Value::as_str)
+                .ok_or("message without shard_id")?
+                .to_string())
+        };
+        let cell = |v: &Value| -> Result<String, String> {
+            Ok(v.get("cell_id")
+                .and_then(Value::as_str)
+                .ok_or("message without cell_id")?
+                .to_string())
+        };
+        match v.get("type").and_then(Value::as_str) {
+            Some("ready") => Ok(FromWorker::Ready {
+                pid: v
+                    .get("pid")
+                    .and_then(Value::as_u64)
+                    .ok_or("ready without pid")? as u32,
+            }),
+            Some("heartbeat") => Ok(FromWorker::Heartbeat {
+                shard_id: shard(&v)?,
+            }),
+            Some("cell_done") => Ok(FromWorker::CellDone {
+                shard_id: shard(&v)?,
+                cell_id: cell(&v)?,
+                wall_ms: v
+                    .get("wall_ms")
+                    .and_then(Value::as_u64)
+                    .ok_or("cell_done without wall_ms")?,
+                accesses: v
+                    .get("accesses")
+                    .and_then(Value::as_u64)
+                    .ok_or("cell_done without accesses")?,
+                payload: v
+                    .get("payload")
+                    .cloned()
+                    .ok_or("cell_done without payload")?,
+            }),
+            Some("cell_error") => Ok(FromWorker::CellError {
+                shard_id: shard(&v)?,
+                cell_id: cell(&v)?,
+                message: v
+                    .get("message")
+                    .and_then(Value::as_str)
+                    .unwrap_or("unspecified")
+                    .to_string(),
+            }),
+            Some("shard_done") => Ok(FromWorker::ShardDone {
+                shard_id: shard(&v)?,
+            }),
+            Some(other) => Err(format!("unknown worker message '{other}'")),
+            None => Err("worker message without a type".to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assign_roundtrips_with_cells() {
+        let msg = ToWorker::Assign {
+            shard_id: "abcd".to_string(),
+            shard_index: 3,
+            cells: vec![CellSpec::sweep("G2-1", "ucp", 2, "quick")],
+        };
+        let line = msg.to_line();
+        assert!(line.ends_with('\n'));
+        match ToWorker::from_line(&line).expect("parses") {
+            ToWorker::Assign {
+                shard_id,
+                shard_index,
+                cells,
+            } => {
+                assert_eq!(shard_id, "abcd");
+                assert_eq!(shard_index, 3);
+                assert_eq!(cells.len(), 1);
+                assert_eq!(cells[0].workload, "G2-1");
+            }
+            other => panic!("wrong message: {other:?}"),
+        }
+        assert!(matches!(
+            ToWorker::from_line(&ToWorker::Exit.to_line()),
+            Ok(ToWorker::Exit)
+        ));
+    }
+
+    #[test]
+    fn worker_messages_roundtrip() {
+        let msgs = vec![
+            FromWorker::Ready { pid: 42 },
+            FromWorker::Heartbeat {
+                shard_id: "s".to_string(),
+            },
+            FromWorker::CellDone {
+                shard_id: "s".to_string(),
+                cell_id: "c".to_string(),
+                wall_ms: 1234,
+                accesses: 99_000,
+                payload: json::obj(vec![("ipc", json::arr_f64(&[1.5, 0.25]))]),
+            },
+            FromWorker::CellError {
+                shard_id: "s".to_string(),
+                cell_id: "c".to_string(),
+                message: "boom".to_string(),
+            },
+            FromWorker::ShardDone {
+                shard_id: "s".to_string(),
+            },
+        ];
+        for m in msgs {
+            let line = m.to_line();
+            let back = FromWorker::from_line(&line).expect(&line);
+            assert_eq!(back.to_line(), line);
+        }
+    }
+
+    #[test]
+    fn unknown_types_are_protocol_errors() {
+        assert!(ToWorker::from_line(r#"{"type":"mystery"}"#).is_err());
+        assert!(FromWorker::from_line(r#"{"type":"mystery"}"#).is_err());
+        assert!(FromWorker::from_line("not json").is_err());
+        assert!(FromWorker::from_line(r#"{"no":"type"}"#).is_err());
+    }
+}

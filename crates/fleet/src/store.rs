@@ -1,0 +1,518 @@
+//! The durable results store behind `--json DIR`.
+//!
+//! Layout:
+//!
+//! ```text
+//! DIR/manifest.json     run manifest: what/scale/filters/version + cell IDs
+//! DIR/cells/<id>.json   one finished cell: {"spec": ..., "payload": ...}
+//! DIR/journal.jsonl     append-only journal, one line per finished cell
+//! DIR/<experiment>.json merged experiment outputs (written by repro)
+//! ```
+//!
+//! The per-cell file is the durable unit (PR 4's JSON output format carried
+//! over): a crash after N cells keeps N results. The journal is the fast
+//! resume index — `--resume` diffs the manifest's cell set against the
+//! journal and re-runs only what is missing — and the manifest is the
+//! compatibility gate: a resumed run refuses to mix partial results from a
+//! different scale, filter set, sample plan or code version instead of
+//! silently merging them.
+
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+
+use crate::cell::CellSpec;
+use crate::json::{self, Value};
+
+/// Results-store format version (bump when the cell payload layout
+/// changes incompatibly).
+pub const STORE_FORMAT: u64 = 1;
+
+/// The run manifest: everything that must match for partial results to be
+/// mergeable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Manifest {
+    /// The repro target (e.g. `"fig5_10"`, `"sample"`).
+    pub experiment: String,
+    /// Scale preset name.
+    pub scale: String,
+    /// Canonical policy filter (empty = paper default set).
+    pub policies: Vec<String>,
+    /// Canonical group filter (empty = all groups).
+    pub groups: Vec<String>,
+    /// Monte Carlo plan, when sampling: (mix count, RNG seed).
+    pub sample: Option<(u64, u64)>,
+    /// Code version (git-describe-ish; see [`crate::version_string`]).
+    pub version: String,
+    /// Sorted IDs of every cell the run needs.
+    pub cell_ids: Vec<String>,
+    /// Store format version.
+    pub format: u64,
+}
+
+impl Manifest {
+    /// Builds a manifest over `cells` (IDs are sorted for stability).
+    pub fn new(
+        experiment: &str,
+        scale: &str,
+        policies: &[String],
+        groups: &[String],
+        sample: Option<(u64, u64)>,
+        version: &str,
+        cells: &[CellSpec],
+    ) -> Manifest {
+        let mut cell_ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+        cell_ids.sort();
+        cell_ids.dedup();
+        Manifest {
+            experiment: experiment.to_string(),
+            scale: scale.to_string(),
+            policies: policies.to_vec(),
+            groups: groups.to_vec(),
+            sample,
+            version: version.to_string(),
+            cell_ids,
+            format: STORE_FORMAT,
+        }
+    }
+
+    /// Serializes the manifest.
+    pub fn to_value(&self) -> Value {
+        let strs = |v: &[String]| Value::Arr(v.iter().map(json::str).collect());
+        let mut fields = vec![
+            ("experiment", json::str(&self.experiment)),
+            ("scale", json::str(&self.scale)),
+            ("policies", strs(&self.policies)),
+            ("groups", strs(&self.groups)),
+            ("version", json::str(&self.version)),
+            ("cells", strs(&self.cell_ids)),
+            ("format", json::num_u64(self.format)),
+        ];
+        if let Some((n, seed)) = self.sample {
+            fields.push((
+                "sample",
+                json::obj(vec![("n", json::num_u64(n)), ("seed", json::num_u64(seed))]),
+            ));
+        }
+        json::obj(fields)
+    }
+
+    /// Parses a manifest.
+    pub fn from_value(v: &Value) -> Result<Manifest, String> {
+        let strs = |key: &str| -> Result<Vec<String>, String> {
+            v.get(key)
+                .and_then(Value::as_arr)
+                .ok_or_else(|| format!("manifest missing '{key}'"))?
+                .iter()
+                .map(|s| {
+                    s.as_str()
+                        .map(str::to_string)
+                        .ok_or_else(|| format!("manifest '{key}' must hold strings"))
+                })
+                .collect()
+        };
+        let text = |key: &str| -> Result<String, String> {
+            Ok(v.get(key)
+                .and_then(Value::as_str)
+                .ok_or_else(|| format!("manifest missing '{key}'"))?
+                .to_string())
+        };
+        let sample = match v.get("sample") {
+            None => None,
+            Some(s) => Some((
+                s.get("n")
+                    .and_then(Value::as_u64)
+                    .ok_or("manifest sample missing 'n'")?,
+                s.get("seed")
+                    .and_then(Value::as_u64)
+                    .ok_or("manifest sample missing 'seed'")?,
+            )),
+        };
+        Ok(Manifest {
+            experiment: text("experiment")?,
+            scale: text("scale")?,
+            policies: strs("policies")?,
+            groups: strs("groups")?,
+            sample,
+            version: text("version")?,
+            cell_ids: strs("cells")?,
+            format: v
+                .get("format")
+                .and_then(Value::as_u64)
+                .ok_or("manifest missing 'format'")?,
+        })
+    }
+
+    /// Checks that partial results written under `existing` can join this
+    /// run. Everything that changes simulation outputs must match; a
+    /// mismatch names the offending field so the user knows whether to
+    /// pick a fresh directory or rerun the old configuration.
+    pub fn compatible_with(&self, existing: &Manifest) -> Result<(), String> {
+        let mismatch = |what: &str, old: &str, new: &str| {
+            Err(format!(
+                "results dir was written by an incompatible run: {what} was '{old}', this run has '{new}'"
+            ))
+        };
+        if existing.format != self.format {
+            return mismatch(
+                "store format",
+                &existing.format.to_string(),
+                &self.format.to_string(),
+            );
+        }
+        if existing.version != self.version {
+            return mismatch("code version", &existing.version, &self.version);
+        }
+        if existing.experiment != self.experiment {
+            return mismatch("experiment", &existing.experiment, &self.experiment);
+        }
+        if existing.scale != self.scale {
+            return mismatch("scale", &existing.scale, &self.scale);
+        }
+        if existing.policies != self.policies {
+            return mismatch(
+                "policy filter",
+                &existing.policies.join(","),
+                &self.policies.join(","),
+            );
+        }
+        if existing.groups != self.groups {
+            return mismatch(
+                "group filter",
+                &existing.groups.join(","),
+                &self.groups.join(","),
+            );
+        }
+        if existing.sample != self.sample {
+            return mismatch(
+                "sample plan",
+                &format!("{:?}", existing.sample),
+                &format!("{:?}", self.sample),
+            );
+        }
+        if existing.cell_ids != self.cell_ids {
+            return Err(format!(
+                "results dir was written by an incompatible run: cell set differs \
+                 ({} existing vs {} requested cells)",
+                existing.cell_ids.len(),
+                self.cell_ids.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// One journal line: what finished, where, and what it cost.
+#[derive(Debug, Clone)]
+pub struct JournalEntry {
+    /// Finished cell ID.
+    pub cell_id: String,
+    /// Shard that computed it.
+    pub shard_id: String,
+    /// Worker wall-clock in milliseconds.
+    pub wall_ms: u64,
+    /// LLC demand accesses the cell simulated.
+    pub accesses: u64,
+}
+
+/// The on-disk store rooted at one `--json DIR`.
+#[derive(Debug, Clone)]
+pub struct ResultsStore {
+    dir: PathBuf,
+}
+
+/// Store I/O errors, tagged with the path involved.
+#[derive(Debug)]
+pub struct StoreError {
+    /// What went wrong.
+    pub message: String,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "results store: {}", self.message)
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+fn store_err(path: &Path, what: &str, e: impl std::fmt::Display) -> StoreError {
+    StoreError {
+        message: format!("{what} {}: {e}", path.display()),
+    }
+}
+
+impl ResultsStore {
+    /// Opens (creating directories as needed) the store at `dir`.
+    pub fn open(dir: impl Into<PathBuf>) -> Result<ResultsStore, StoreError> {
+        let dir = dir.into();
+        let cells = dir.join("cells");
+        std::fs::create_dir_all(&cells).map_err(|e| store_err(&cells, "create", e))?;
+        Ok(ResultsStore { dir })
+    }
+
+    /// The store's root directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn manifest_path(&self) -> PathBuf {
+        self.dir.join("manifest.json")
+    }
+
+    fn journal_path(&self) -> PathBuf {
+        self.dir.join("journal.jsonl")
+    }
+
+    fn cell_path(&self, cell_id: &str) -> PathBuf {
+        self.dir.join("cells").join(format!("{cell_id}.json"))
+    }
+
+    /// Writes the run manifest (pretty single line + trailing newline).
+    pub fn write_manifest(&self, m: &Manifest) -> Result<(), StoreError> {
+        let path = self.manifest_path();
+        let mut text = m.to_value().render();
+        text.push('\n');
+        std::fs::write(&path, text).map_err(|e| store_err(&path, "write", e))
+    }
+
+    /// Reads the manifest, if one exists.
+    pub fn read_manifest(&self) -> Result<Option<Manifest>, StoreError> {
+        let path = self.manifest_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(store_err(&path, "read", e)),
+        };
+        let v = json::parse(&text).map_err(|e| store_err(&path, "parse", e))?;
+        Manifest::from_value(&v)
+            .map(Some)
+            .map_err(|e| store_err(&path, "parse", e))
+    }
+
+    /// Persists one finished cell (spec + opaque payload) and appends its
+    /// journal line. The cell file is written atomically (tmp + rename) so
+    /// a crash mid-write never leaves a torn result that a resume would
+    /// trust.
+    pub fn write_cell(
+        &self,
+        spec: &CellSpec,
+        payload: &Value,
+        entry: &JournalEntry,
+    ) -> Result<(), StoreError> {
+        let doc = json::obj(vec![
+            ("spec", spec.to_value()),
+            ("payload", payload.clone()),
+        ]);
+        let path = self.cell_path(&entry.cell_id);
+        let tmp = path.with_extension("json.tmp");
+        let mut text = doc.render();
+        text.push('\n');
+        std::fs::write(&tmp, text).map_err(|e| store_err(&tmp, "write", e))?;
+        std::fs::rename(&tmp, &path).map_err(|e| store_err(&path, "rename", e))?;
+
+        let line = json::obj(vec![
+            ("cell", json::str(&entry.cell_id)),
+            ("shard", json::str(&entry.shard_id)),
+            ("wall_ms", json::num_u64(entry.wall_ms)),
+            ("accesses", json::num_u64(entry.accesses)),
+        ]);
+        let jpath = self.journal_path();
+        let mut f = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&jpath)
+            .map_err(|e| store_err(&jpath, "open", e))?;
+        writeln!(f, "{}", line.render()).map_err(|e| store_err(&jpath, "append", e))
+    }
+
+    /// Journal entries in append order (unparseable lines are skipped —
+    /// a torn final line after a crash must not poison the resume).
+    pub fn read_journal(&self) -> Result<Vec<JournalEntry>, StoreError> {
+        let path = self.journal_path();
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => return Err(store_err(&path, "read", e)),
+        };
+        let mut out = Vec::new();
+        for line in text.lines() {
+            let Ok(v) = json::parse(line) else { continue };
+            let (Some(cell), Some(shard)) = (
+                v.get("cell").and_then(Value::as_str),
+                v.get("shard").and_then(Value::as_str),
+            ) else {
+                continue;
+            };
+            out.push(JournalEntry {
+                cell_id: cell.to_string(),
+                shard_id: shard.to_string(),
+                wall_ms: v.get("wall_ms").and_then(Value::as_u64).unwrap_or(0),
+                accesses: v.get("accesses").and_then(Value::as_u64).unwrap_or(0),
+            });
+        }
+        Ok(out)
+    }
+
+    /// IDs of cells that are durably finished: journaled AND whose cell
+    /// file exists (the file is the durable unit; the journal alone does
+    /// not count).
+    pub fn done_cell_ids(&self) -> Result<Vec<String>, StoreError> {
+        let mut out = Vec::new();
+        for e in self.read_journal()? {
+            if self.cell_path(&e.cell_id).exists() && !out.contains(&e.cell_id) {
+                out.push(e.cell_id);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Loads one finished cell's payload.
+    pub fn read_cell(&self, cell_id: &str) -> Result<(CellSpec, Value), StoreError> {
+        let path = self.cell_path(cell_id);
+        let text = std::fs::read_to_string(&path).map_err(|e| store_err(&path, "read", e))?;
+        let v = json::parse(&text).map_err(|e| store_err(&path, "parse", e))?;
+        let spec = v
+            .get("spec")
+            .ok_or_else(|| store_err(&path, "parse", "missing spec"))
+            .and_then(|s| CellSpec::from_value(s).map_err(|e| store_err(&path, "parse", e)))?;
+        let payload = v
+            .get("payload")
+            .cloned()
+            .ok_or_else(|| store_err(&path, "parse", "missing payload"))?;
+        Ok((spec, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("fleet-store-test-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn manifest(cells: &[CellSpec]) -> Manifest {
+        Manifest::new(
+            "fig5_10",
+            "quick",
+            &["cooperative".to_string()],
+            &[],
+            None,
+            "v-test",
+            cells,
+        )
+    }
+
+    #[test]
+    fn manifest_roundtrips() {
+        let cells = vec![
+            CellSpec::sweep("G2-1", "cooperative", 2, "quick"),
+            CellSpec::solo("namd", 2, "quick"),
+        ];
+        let m = manifest(&cells);
+        let back = Manifest::from_value(&json::parse(&m.to_value().render()).expect("json"))
+            .expect("manifest");
+        assert_eq!(back, m);
+        let mut sampled = m.clone();
+        sampled.sample = Some((64, 7));
+        let back = Manifest::from_value(&json::parse(&sampled.to_value().render()).expect("json"))
+            .expect("manifest");
+        assert_eq!(back.sample, Some((64, 7)));
+    }
+
+    #[test]
+    fn incompatible_manifests_name_the_field() {
+        let cells = vec![CellSpec::sweep("G2-1", "cooperative", 2, "quick")];
+        let m = manifest(&cells);
+        let mut other = m.clone();
+        other.scale = "small".to_string();
+        let msg = m.compatible_with(&other).expect_err("scale differs");
+        assert!(msg.contains("scale"), "{msg}");
+        let mut other = m.clone();
+        other.version = "v-older".to_string();
+        assert!(m
+            .compatible_with(&other)
+            .expect_err("version differs")
+            .contains("version"));
+        let mut other = m.clone();
+        other.cell_ids.push("ffff".to_string());
+        assert!(m
+            .compatible_with(&other)
+            .expect_err("cells differ")
+            .contains("cell set"));
+        assert!(m.compatible_with(&m.clone()).is_ok());
+    }
+
+    #[test]
+    fn cells_and_journal_survive_reopen() {
+        let dir = tmpdir("journal");
+        let store = ResultsStore::open(&dir).expect("open");
+        let spec = CellSpec::sweep("G2-1", "ucp", 2, "quick");
+        let payload = json::obj(vec![("ipc", json::arr_f64(&[1.25, 0.5]))]);
+        store
+            .write_cell(
+                &spec,
+                &payload,
+                &JournalEntry {
+                    cell_id: spec.id(),
+                    shard_id: "shard0".to_string(),
+                    wall_ms: 10,
+                    accesses: 1000,
+                },
+            )
+            .expect("write");
+        // Reopen as a resume would.
+        let store = ResultsStore::open(&dir).expect("reopen");
+        assert_eq!(store.done_cell_ids().expect("done"), vec![spec.id()]);
+        let (back_spec, back_payload) = store.read_cell(&spec.id()).expect("read");
+        assert_eq!(back_spec, spec);
+        assert_eq!(back_payload, payload);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_journal_lines_are_skipped() {
+        let dir = tmpdir("torn");
+        let store = ResultsStore::open(&dir).expect("open");
+        let spec = CellSpec::sweep("G2-2", "ucp", 2, "quick");
+        store
+            .write_cell(
+                &spec,
+                &json::obj(vec![]),
+                &JournalEntry {
+                    cell_id: spec.id(),
+                    shard_id: "s".to_string(),
+                    wall_ms: 1,
+                    accesses: 1,
+                },
+            )
+            .expect("write");
+        // Simulate a crash mid-append.
+        let jpath = dir.join("journal.jsonl");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&jpath)
+            .expect("open journal");
+        write!(f, "{{\"cell\":\"deadbeef").expect("torn write");
+        drop(f);
+        assert_eq!(store.done_cell_ids().expect("done"), vec![spec.id()]);
+        // A journaled cell whose file vanished is not durable.
+        std::fs::remove_file(dir.join("cells").join(format!("{}.json", spec.id())))
+            .expect("remove cell file");
+        assert!(store.done_cell_ids().expect("done").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_manifest_reads_as_none() {
+        let dir = tmpdir("nomanifest");
+        let store = ResultsStore::open(&dir).expect("open");
+        assert!(store.read_manifest().expect("read").is_none());
+        store.write_manifest(&manifest(&[])).expect("write");
+        assert!(store.read_manifest().expect("read").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,305 @@
+//! Worker-side protocol loop.
+//!
+//! A worker process (`repro worker`) reads [`ToWorker`] messages from
+//! stdin, runs each assigned shard cell by cell through a [`CellRunner`],
+//! and streams [`FromWorker`] messages to stdout: heartbeats while
+//! computing, one `cell_done` per finished cell (so the orchestrator can
+//! persist results as they land — a worker death mid-shard loses only the
+//! unfinished cells), and `shard_done` when idle again. Diagnostics go to
+//! stderr, which the orchestrator passes through.
+//!
+//! ## Fault injection (test hook)
+//!
+//! `FLEET_FAIL_SHARD=<target>:<mode>` makes the worker misbehave when a
+//! matching shard is assigned, so orchestrator tests can pin retry,
+//! timeout and resume behaviour:
+//!
+//! * `<target>` — a shard ordinal (`1`) or a shard-ID prefix (`ab12`);
+//! * `<mode>` — `panic` (die immediately), `panic1` (finish exactly one
+//!   cell, then die — exercises mid-shard degradation), or `hang` (stall
+//!   silently, without heartbeats — exercises the stall timeout).
+//!
+//! With `FLEET_FAIL_ONCE=<marker-path>` the fault fires only if the
+//! marker file does not exist yet (it is created when firing), so a retry
+//! of the same shard succeeds — the bounded-retry path in one run.
+
+use std::io::{BufRead as _, Write as _};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::cell::CellSpec;
+use crate::json::Value;
+use crate::protocol::{FromWorker, ToWorker};
+
+/// Executes one cell; implemented by the harness.
+pub trait CellRunner {
+    /// Runs `cell`, returning the opaque result payload plus the number
+    /// of LLC demand accesses it simulated (aggregate-throughput
+    /// accounting). `Err` marks the cell failed without killing the
+    /// worker.
+    fn run_cell(&self, cell: &CellSpec) -> Result<(Value, u64), String>;
+}
+
+/// A parsed `FLEET_FAIL_SHARD` directive.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    target: String,
+    mode: FaultMode,
+    once_marker: Option<String>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum FaultMode {
+    Panic,
+    PanicAfterOneCell,
+    Hang,
+}
+
+impl FaultPlan {
+    /// Reads the plan from the environment (`None` when unset).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a malformed directive — a typo'd fault injection must
+    /// not silently run the real workload.
+    pub fn from_env() -> Option<FaultPlan> {
+        let spec = std::env::var("FLEET_FAIL_SHARD").ok()?;
+        let plan = FaultPlan::parse(&spec)
+            .unwrap_or_else(|e| panic!("bad FLEET_FAIL_SHARD '{spec}': {e}"));
+        Some(FaultPlan {
+            once_marker: std::env::var("FLEET_FAIL_ONCE").ok(),
+            ..plan
+        })
+    }
+
+    /// Parses `<target>:<mode>`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let (target, mode) = spec
+            .split_once(':')
+            .ok_or("expected <shard-ordinal-or-id-prefix>:<panic|panic1|hang>")?;
+        let mode = match mode {
+            "panic" => FaultMode::Panic,
+            "panic1" => FaultMode::PanicAfterOneCell,
+            "hang" => FaultMode::Hang,
+            other => return Err(format!("unknown fault mode '{other}'")),
+        };
+        if target.is_empty() {
+            return Err("empty shard target".to_string());
+        }
+        Ok(FaultPlan {
+            target: target.to_string(),
+            mode,
+            once_marker: None,
+        })
+    }
+
+    fn matches(&self, shard_id: &str, shard_index: usize) -> bool {
+        self.target == shard_index.to_string() || shard_id.starts_with(&self.target)
+    }
+
+    /// True when the fault should fire now (consumes the once-marker).
+    fn armed(&self, shard_id: &str, shard_index: usize) -> bool {
+        if !self.matches(shard_id, shard_index) {
+            return false;
+        }
+        match &self.once_marker {
+            None => true,
+            Some(path) => {
+                if std::path::Path::new(path).exists() {
+                    false
+                } else {
+                    // Marker creation failing means the fault would fire on
+                    // every retry; surface that loudly.
+                    std::fs::write(path, b"fired\n").expect("write FLEET_FAIL_ONCE marker");
+                    true
+                }
+            }
+        }
+    }
+}
+
+fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+    let mut out = out.lock().expect("worker stdout");
+    // A dead orchestrator pipe is not an error worth a worker backtrace.
+    let _ = out.write_all(msg.to_line().as_bytes());
+    let _ = out.flush();
+}
+
+/// Runs the worker loop until `exit` or stdin EOF. Returns the number of
+/// cells computed (mainly for tests; the process usually just exits).
+pub fn serve(runner: &dyn CellRunner) -> usize {
+    let fault = FaultPlan::from_env();
+    let heartbeat_every = Duration::from_millis(
+        std::env::var("FLEET_HEARTBEAT_MS")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(100),
+    );
+    let out = Arc::new(Mutex::new(std::io::stdout()));
+    let stdin = std::io::stdin();
+    send(
+        &out,
+        &FromWorker::Ready {
+            pid: std::process::id(),
+        },
+    );
+
+    let mut cells_done = 0usize;
+    for line in stdin.lock().lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let msg = match ToWorker::from_line(&line) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("# worker {}: bad message: {e}", std::process::id());
+                continue;
+            }
+        };
+        match msg {
+            ToWorker::Exit => break,
+            ToWorker::Assign {
+                shard_id,
+                shard_index,
+                cells,
+            } => {
+                let mut fail_after: Option<usize> = None;
+                if let Some(plan) = &fault {
+                    if plan.armed(&shard_id, shard_index) {
+                        match plan.mode {
+                            FaultMode::Panic => {
+                                eprintln!(
+                                    "# worker: fault injection: panic on shard {shard_index}"
+                                );
+                                std::process::exit(101);
+                            }
+                            FaultMode::Hang => {
+                                eprintln!("# worker: fault injection: hang on shard {shard_index}");
+                                // Stall silently — no heartbeats — until the
+                                // orchestrator's stall timeout kills us.
+                                loop {
+                                    std::thread::sleep(Duration::from_secs(3600));
+                                }
+                            }
+                            FaultMode::PanicAfterOneCell => fail_after = Some(1),
+                        }
+                    }
+                }
+                cells_done +=
+                    run_shard(runner, &out, &shard_id, &cells, heartbeat_every, fail_after);
+                send(
+                    &out,
+                    &FromWorker::ShardDone {
+                        shard_id: shard_id.clone(),
+                    },
+                );
+            }
+        }
+    }
+    cells_done
+}
+
+/// Runs one shard's cells, heartbeating from a side thread while each
+/// cell computes. Returns how many cells completed.
+fn run_shard(
+    runner: &dyn CellRunner,
+    out: &Arc<Mutex<std::io::Stdout>>,
+    shard_id: &str,
+    cells: &[CellSpec],
+    heartbeat_every: Duration,
+    fail_after: Option<usize>,
+) -> usize {
+    let stop = Arc::new(AtomicBool::new(false));
+    let beat = {
+        let stop = Arc::clone(&stop);
+        let out = Arc::clone(out);
+        let shard_id = shard_id.to_string();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::Relaxed) {
+                send(
+                    &out,
+                    &FromWorker::Heartbeat {
+                        shard_id: shard_id.clone(),
+                    },
+                );
+                std::thread::sleep(heartbeat_every);
+            }
+        })
+    };
+
+    let mut done = 0usize;
+    for cell in cells {
+        let started = Instant::now();
+        match runner.run_cell(cell) {
+            Ok((payload, accesses)) => {
+                send(
+                    out,
+                    &FromWorker::CellDone {
+                        shard_id: shard_id.to_string(),
+                        cell_id: cell.id(),
+                        wall_ms: started.elapsed().as_millis() as u64,
+                        accesses,
+                        payload,
+                    },
+                );
+                done += 1;
+            }
+            Err(message) => {
+                send(
+                    out,
+                    &FromWorker::CellError {
+                        shard_id: shard_id.to_string(),
+                        cell_id: cell.id(),
+                        message,
+                    },
+                );
+            }
+        }
+        if fail_after.is_some_and(|n| done >= n) {
+            eprintln!("# worker: fault injection: panic after {done} cell(s)");
+            std::process::exit(101);
+        }
+    }
+    stop.store(true, Ordering::Relaxed);
+    let _ = beat.join();
+    done
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_plans_parse_and_match() {
+        let p = FaultPlan::parse("1:panic").expect("parses");
+        assert!(p.matches("whatever", 1));
+        assert!(!p.matches("whatever", 2));
+        let p = FaultPlan::parse("ab12:hang").expect("parses");
+        assert!(p.matches("ab12ffff00", 7));
+        assert!(!p.matches("ffab12", 7));
+        assert_eq!(
+            FaultPlan::parse("0:panic1").expect("parses").mode,
+            FaultMode::PanicAfterOneCell
+        );
+        assert!(FaultPlan::parse("nomode").is_err());
+        assert!(FaultPlan::parse(":panic").is_err());
+        assert!(FaultPlan::parse("1:explode").is_err());
+    }
+
+    #[test]
+    fn once_marker_arms_exactly_once() {
+        let marker = std::env::temp_dir().join(format!("fleet-once-{}", std::process::id()));
+        let _ = std::fs::remove_file(&marker);
+        let plan = FaultPlan {
+            target: "0".to_string(),
+            mode: FaultMode::Panic,
+            once_marker: Some(marker.display().to_string()),
+        };
+        assert!(plan.armed("s", 0), "first match fires");
+        assert!(!plan.armed("s", 0), "second match is disarmed");
+        assert!(!plan.armed("s", 1), "non-matching shard never fires");
+        let _ = std::fs::remove_file(&marker);
+    }
+}

@@ -6,10 +6,13 @@
 //! repro <experiment|all> [--scale quick|tiny|small|medium|paper]
 //!       [--csv DIR] [--json DIR] [--slacks 0.05,0.10,0.20]
 //!       [--policy name[,name...]] [--group name[,name...]]
+//!       [--workers N] [--shards K] [--resume]
+//!       [--sample N] [--seed S]
 //!
 //! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig5_10 fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
-//!              all two-core four-core eight_core
+//!              all two-core four-core eight_core sample
+//! repro worker    # internal: fleet worker process (NDJSON on stdio)
 //! ```
 //!
 //! `--policy` restricts the sweep figures to the named policies (from the
@@ -22,12 +25,23 @@
 //! with `--slacks`) against the Cooperative-only baseline. The scale can
 //! also be set via the `COOP_SCALE` environment variable. `--csv` and
 //! `--json` write one machine-readable file per experiment.
+//!
+//! `--workers N` runs a sweep figure (or `sample`) as a fleet: the cells
+//! are sharded over N `repro worker` child processes and streamed into
+//! the `--json` directory (required), which doubles as a durable results
+//! store (`manifest.json`, `cells/`, `journal.jsonl`). A killed or
+//! partially failed run resumes with `--resume` — only missing cells
+//! rerun, and the merged figures are bit-identical to a single-process
+//! run. `sample` draws `--sample N` random 1-8-core mixes (seeded with
+//! `--seed`) and reports distributional results; without `--workers` it
+//! runs in-process.
 
 use std::io::Write as _;
 
 use harness::experiments::fig11_13::ThresholdMetric;
 use harness::experiments::fig5_10::Metric;
 use harness::experiments::{self, Experiment};
+use harness::fleet_run::{self, FleetOptions, SamplePlan};
 use harness::{policy_registry, workload_registry, SimScale};
 use simkit::table::json_string;
 
@@ -37,12 +51,23 @@ fn main() {
         usage();
         return;
     }
+    // The worker subcommand speaks the fleet protocol on stdout; it must
+    // come before any banner or argument chatter.
+    if args[0] == "worker" {
+        fleet_run::worker_serve();
+        return;
+    }
     let mut scale = SimScale::from_env_or(SimScale::small());
     let mut csv_dir: Option<String> = None;
     let mut json_dir: Option<String> = None;
     let mut slacks: Vec<f64> = Vec::new();
     let mut policies: Vec<&'static str> = Vec::new();
     let mut groups: Vec<String> = Vec::new();
+    let mut workers: Option<usize> = None;
+    let mut shards: Option<usize> = None;
+    let mut resume = false;
+    let mut sample_n: Option<u64> = None;
+    let mut seed: u64 = 0;
     let mut what = args[0].clone();
     let mut i = 0;
     while i < args.len() {
@@ -122,6 +147,45 @@ fn main() {
                     "slacks must be fractions in [0, 1]"
                 );
             }
+            "--workers" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .expect("--workers needs a count")
+                    .parse()
+                    .expect("--workers must be an integer");
+                assert!(n >= 1, "--workers must be at least 1");
+                workers = Some(n);
+            }
+            "--shards" => {
+                i += 1;
+                let n: usize = args
+                    .get(i)
+                    .expect("--shards needs a count")
+                    .parse()
+                    .expect("--shards must be an integer");
+                assert!(n >= 1, "--shards must be at least 1");
+                shards = Some(n);
+            }
+            "--resume" => resume = true,
+            "--sample" => {
+                i += 1;
+                let n: u64 = args
+                    .get(i)
+                    .expect("--sample needs a count")
+                    .parse()
+                    .expect("--sample must be an integer");
+                assert!(n >= 1, "--sample must be at least 1");
+                sample_n = Some(n);
+            }
+            "--seed" => {
+                i += 1;
+                seed = args
+                    .get(i)
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("--seed must be an integer");
+            }
             other if i == 0 => what = other.to_string(),
             other => panic!("unexpected argument '{other}'"),
         }
@@ -145,27 +209,101 @@ fn main() {
             | "eight_core"
             | "eight-core"
     );
-    if !sweep_aware {
-        if !policies.is_empty() {
-            eprintln!(
-                "# note: --policy only filters fig5..fig10/fig5_10/four-core/eight_core; ignored for '{what}'"
-            );
-            policies.clear();
-        }
-        if !groups.is_empty() {
-            eprintln!(
-                "# note: --group only filters fig5..fig10/fig5_10/four-core/eight_core; ignored for '{what}'"
-            );
-            groups.clear();
-        }
+    let sampling = what == "sample";
+    if !sweep_aware && !sampling && !policies.is_empty() {
+        eprintln!(
+            "# note: --policy only filters fig5..fig10/fig5_10/four-core/eight_core/sample; ignored for '{what}'"
+        );
+        policies.clear();
     }
+    if !sweep_aware && !groups.is_empty() {
+        eprintln!(
+            "# note: --group only filters fig5..fig10/fig5_10/four-core/eight_core; ignored for '{what}'"
+        );
+        groups.clear();
+    }
+    if !sampling && (sample_n.is_some() || seed != 0) {
+        eprintln!(
+            "# note: --sample/--seed only apply to the 'sample' experiment; ignored for '{what}'"
+        );
+    }
+    let plan = sampling.then(|| SamplePlan {
+        n: sample_n.unwrap_or(64),
+        seed,
+        slack: slacks.first().copied().unwrap_or(0.05),
+    });
 
     eprintln!(
         "# scale '{}': {} instrs/app, {}-cycle epochs (paper: 1B instrs, 5M-cycle epochs)",
         scale.name, scale.instrs_per_app, scale.epoch_cycles
     );
     let start = std::time::Instant::now();
-    let list = select(&what, scale, &slacks, &policies, &groups);
+
+    let list = if let Some(workers) = workers {
+        // Fleet mode: shard the cells over worker processes, streaming
+        // results into the --json directory (which doubles as the
+        // durable store that --resume continues).
+        if !sweep_aware && !sampling {
+            eprintln!(
+                "--workers only applies to the sweep figures (fig5..fig10, fig5_10, four-core, eight_core) and 'sample'"
+            );
+            std::process::exit(2);
+        }
+        let Some(dir) = json_dir.clone() else {
+            eprintln!("--workers needs --json DIR: the directory is the durable results store");
+            std::process::exit(2);
+        };
+        let opts = FleetOptions {
+            workers,
+            shards,
+            resume,
+        };
+        match fleet_run::run_fleet_target(
+            &what,
+            scale,
+            &policies,
+            &groups,
+            plan.as_ref(),
+            &dir,
+            &opts,
+        ) {
+            Ok(outcome) => outcome.experiments,
+            Err(e) => {
+                eprintln!("{e}");
+                std::process::exit(1);
+            }
+        }
+    } else {
+        if resume {
+            eprintln!("--resume needs --workers: resuming is a fleet-mode operation");
+            std::process::exit(2);
+        }
+        let list = if let Some(plan) = &plan {
+            match fleet_run::run_sample_inprocess(scale, &policies, plan) {
+                Ok(list) => list,
+                Err(e) => {
+                    eprintln!("{e}");
+                    std::process::exit(1);
+                }
+            }
+        } else {
+            select(&what, scale, &slacks, &policies, &groups)
+        };
+        // Single-process runs of fleet-capable targets still record a
+        // manifest beside their JSON output, so a later fleet `--resume`
+        // (or a human) can tell exactly what configuration produced the
+        // directory — and refuse an incompatible one.
+        if let Some(dir) = &json_dir {
+            if let Err(e) =
+                write_single_process_manifest(&what, scale, &policies, &groups, plan.as_ref(), dir)
+            {
+                eprintln!("{e}");
+                std::process::exit(2);
+            }
+        }
+        list
+    };
+
     if list.is_empty() {
         // Only reachable via a --group filter whose core count doesn't
         // match the requested sweep; a silent exit-0 would read as
@@ -186,6 +324,34 @@ fn main() {
         }
     }
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
+}
+
+/// Satellite of fleet mode: a plain `--json` run of a fleet-capable
+/// target writes the same manifest a fleet run would, gated by the same
+/// compatibility check against whatever is already in the directory.
+fn write_single_process_manifest(
+    what: &str,
+    scale: SimScale,
+    policies: &[&'static str],
+    groups: &[String],
+    plan: Option<&SamplePlan>,
+    dir: &str,
+) -> Result<(), String> {
+    let Some(cells) = fleet_run::cells_for_target(what, scale, policies, groups, plan) else {
+        return Ok(()); // not fleet-capable; nothing to record
+    };
+    let cells = cells?;
+    if cells.is_empty() {
+        return Ok(());
+    }
+    let store = fleet::ResultsStore::open(dir).map_err(|e| e.to_string())?;
+    let manifest = fleet_run::manifest_for(what, scale, policies, groups, plan, &cells);
+    if let Some(existing) = store.read_manifest().map_err(|e| e.to_string())? {
+        manifest.compatible_with(&existing).map_err(|e| {
+            format!("{e}\nthis --json directory belongs to a different run configuration; use a fresh one")
+        })?;
+    }
+    store.write_manifest(&manifest).map_err(|e| e.to_string())
 }
 
 fn select(
@@ -320,14 +486,20 @@ fn write_json(dir: &str, e: &Experiment) {
 
 fn usage() {
     eprintln!(
-        "usage: repro <experiment|all|two-core|four-core|eight_core> [--scale quick|tiny|small|medium|paper]\n\
+        "usage: repro <experiment|all|two-core|four-core|eight_core|sample> [--scale quick|tiny|small|medium|paper]\n\
          \x20      [--csv DIR] [--json DIR] [--slacks 0.05,0.10,0.20]\n\
          \x20      [--policy name[,name...]] [--group name[,name...]]\n\
+         \x20      [--workers N] [--shards K] [--resume] [--sample N] [--seed S]\n\
          experiments: table1 table3 table4 fig5..fig16 fig5_10 dvfs_energy\n\
          --policy:    restrict the sweep figures to these registry policies ({})\n\
          --group:     restrict the sweep figures to these workload groups (G2-*, G4-*, G8-*)\n\
          eight_core:  G8 extension sweeps beyond the paper (8 MB / 32-way LLC)\n\
-         dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep",
+         dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep\n\
+         --workers:   fleet mode — shard a sweep figure (or 'sample') over N worker\n\
+         \x20            processes streaming into --json DIR; --resume continues a\n\
+         \x20            killed or partially failed run from the same DIR\n\
+         sample:      Monte Carlo 1-8-core mixes (--sample N draws, --seed S);\n\
+         \x20            distributional report with QoS-violation tails (first --slacks value)",
         policy_registry().names().join(", ")
     );
 }

@@ -162,10 +162,10 @@ pub fn figure(scale: SimScale, slacks: &[f64]) -> Experiment {
         title: "Coordinated DVFS + partitioning vs Cooperative alone (two-core)".to_string(),
         table,
         notes,
-        perf: Some(crate::experiments::ExperimentPerf {
-            wall_seconds: started.elapsed().as_secs_f64(),
+        perf: Some(crate::experiments::ExperimentPerf::local(
+            started.elapsed().as_secs_f64(),
             sim_accesses,
-        }),
+        )),
     }
 }
 

@@ -52,6 +52,26 @@ pub fn figure_for(
     group_filter: &[String],
 ) -> Option<Experiment> {
     let sweep = cached_sweep_filtered(cores, scale, policies, group_filter)?;
+    Some(figure_from(
+        &sweep,
+        cores,
+        metric,
+        group_filter,
+        sweep.perf(),
+    ))
+}
+
+/// Builds one sweep figure from an already-computed [`Sweep`] — the shared
+/// table builder behind both the in-process path ([`figure_for`]) and the
+/// fleet path, where the sweep was merged from a results store and `perf`
+/// carries the orchestration's aggregate cost.
+pub fn figure_from(
+    sweep: &Sweep,
+    cores: usize,
+    metric: Metric,
+    group_filter: &[String],
+    perf: crate::experiments::ExperimentPerf,
+) -> Experiment {
     let (id, title) = match (cores, metric) {
         (2, Metric::WeightedSpeedup) => {
             ("Figure 5", "Weighted speedup, two-core (norm. Fair Share)")
@@ -86,7 +106,7 @@ pub fn figure_for(
         let values: Vec<f64> = sweep
             .policies
             .iter()
-            .map(|p| metric.of(&sweep, g, p))
+            .map(|p| metric.of(sweep, g, p))
             .collect();
         for (acc, &v) in per_policy.iter_mut().zip(values.iter()) {
             acc.push(v);
@@ -165,11 +185,11 @@ pub fn figure_for(
                 .join(", ")
         ));
     }
-    Some(Experiment {
+    Experiment {
         id: id.to_string(),
         title: title.to_string(),
         table,
         notes,
-        perf: Some(sweep.perf()),
-    })
+        perf: Some(perf),
+    }
 }

@@ -16,6 +16,7 @@ pub mod fig14;
 pub mod fig15;
 pub mod fig16;
 pub mod fig5_10;
+pub mod sample;
 pub mod table1;
 pub mod table3;
 pub mod table4;
@@ -46,10 +47,26 @@ pub struct ExperimentPerf {
     pub wall_seconds: f64,
     /// LLC demand accesses simulated across those runs.
     pub sim_accesses: u64,
+    /// Processes that simulated the runs: 1 for in-process experiments,
+    /// the fleet size for orchestrated sweeps. The perf line reports
+    /// *aggregate* throughput either way — the wall-clock is the
+    /// orchestration wall, so accesses-per-second already sums the
+    /// workers' concurrent progress.
+    pub workers: usize,
 }
 
 impl ExperimentPerf {
-    /// Simulated LLC accesses per wall-clock second.
+    /// Perf of an in-process run (one worker).
+    pub fn local(wall_seconds: f64, sim_accesses: u64) -> ExperimentPerf {
+        ExperimentPerf {
+            wall_seconds,
+            sim_accesses,
+            workers: 1,
+        }
+    }
+
+    /// Simulated LLC accesses per wall-clock second (aggregate across
+    /// workers for fleet runs).
     pub fn accesses_per_second(&self) -> f64 {
         if self.wall_seconds > 0.0 {
             self.sim_accesses as f64 / self.wall_seconds
@@ -59,8 +76,13 @@ impl ExperimentPerf {
     }
 
     fn render_line(&self) -> String {
+        let fleet = if self.workers > 1 {
+            format!(" · {} workers", self.workers)
+        } else {
+            String::new()
+        };
         format!(
-            "perf: {:.1}s simulate · {} LLC accesses · {}/s\n",
+            "perf: {:.1}s simulate · {} LLC accesses · {}/s{fleet}\n",
             self.wall_seconds,
             fmt_count(self.sim_accesses),
             fmt_count(self.accesses_per_second() as u64),
@@ -143,10 +165,7 @@ pub struct Sweep {
 impl Sweep {
     /// The sweep's simulation cost as an [`ExperimentPerf`].
     pub fn perf(&self) -> ExperimentPerf {
-        ExperimentPerf {
-            wall_seconds: self.wall_seconds,
-            sim_accesses: self.sim_accesses,
-        }
+        ExperimentPerf::local(self.wall_seconds, self.sim_accesses)
     }
 }
 
@@ -449,10 +468,7 @@ pub fn cached_threshold_sweep(scale: SimScale) -> Arc<ThresholdSweep> {
         .sum::<u64>();
     let arc = Arc::new(ThresholdSweep {
         runs,
-        perf: ExperimentPerf {
-            wall_seconds: started.elapsed().as_secs_f64(),
-            sim_accesses,
-        },
+        perf: ExperimentPerf::local(started.elapsed().as_secs_f64(), sim_accesses),
     });
     cache
         .lock()

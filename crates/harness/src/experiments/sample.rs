@@ -1,0 +1,171 @@
+//! Monte Carlo mix sampling (beyond the paper): distributional results
+//! over randomized 1-8-core mixes drawn from the workload registry.
+//!
+//! The paper evaluates fixed two- and four-core groups; this experiment
+//! asks how a policy behaves across the *space* of mixes — the mean is
+//! only half the story, so the table reports quantiles and the notes
+//! report the QoS-violation tail (what fraction of sampled mixes starve
+//! at least one core beyond the slack).
+
+use simkit::quantile;
+use simkit::table::Table;
+
+use crate::experiments::{Experiment, ExperimentPerf};
+
+/// One sampled mix's outcome for a policy, normalized to Fair Share on
+/// the identical mix.
+#[derive(Debug, Clone)]
+pub struct SampleOutcome {
+    /// The mix label (comma-joined member names).
+    pub spec: String,
+    /// Mix arity (1-8 cores).
+    pub cores: usize,
+    /// Weighted speedup vs Fair Share.
+    pub ws_norm: f64,
+    /// Dynamic LLC energy vs Fair Share.
+    pub dyn_norm: f64,
+    /// Static LLC energy vs Fair Share.
+    pub static_norm: f64,
+    /// Fraction of the mix's cores whose speedup vs running alone fell
+    /// below `1 - slack`.
+    pub qos_violation: f64,
+}
+
+const QUANTS: [(&str, f64); 6] = [
+    ("p5", 0.05),
+    ("p25", 0.25),
+    ("p50", 0.50),
+    ("p75", 0.75),
+    ("p95", 0.95),
+    ("p99", 0.99),
+];
+
+fn mean(values: &[f64]) -> f64 {
+    values.iter().sum::<f64>() / values.len() as f64
+}
+
+fn dist_row(table: &mut Table, label: &str, values: &[f64]) {
+    let mut row = vec![mean(values)];
+    row.extend(
+        QUANTS
+            .iter()
+            .map(|&(_, q)| quantile(values, q).unwrap_or(f64::NAN)),
+    );
+    table.row_f64(label, &row, 3);
+}
+
+/// Builds the distributional report for one policy over the sampled
+/// mixes. `n`/`seed` echo the sampling plan so a reader can reproduce
+/// the draw; `slack` is the QoS threshold the violation rows used.
+pub fn figure(
+    policy: &str,
+    outcomes: &[SampleOutcome],
+    n: u64,
+    seed: u64,
+    slack: f64,
+    perf: ExperimentPerf,
+) -> Experiment {
+    assert!(!outcomes.is_empty(), "sampling produced no outcomes");
+    let mut headers = vec!["Metric".to_string(), "mean".to_string()];
+    headers.extend(QUANTS.iter().map(|&(name, _)| name.to_string()));
+    let mut table = Table::new(headers);
+
+    let ws: Vec<f64> = outcomes.iter().map(|o| o.ws_norm).collect();
+    let dyn_e: Vec<f64> = outcomes.iter().map(|o| o.dyn_norm).collect();
+    let stat_e: Vec<f64> = outcomes.iter().map(|o| o.static_norm).collect();
+    let qos: Vec<f64> = outcomes.iter().map(|o| o.qos_violation).collect();
+    dist_row(&mut table, "WS / FairShare", &ws);
+    dist_row(&mut table, "DynE / FairShare", &dyn_e);
+    dist_row(&mut table, "StatE / FairShare", &stat_e);
+    dist_row(&mut table, "QoS-violation rate", &qos);
+
+    let violating = outcomes.iter().filter(|o| o.qos_violation > 0.0).count();
+    let worst = outcomes
+        .iter()
+        .max_by(|a, b| {
+            a.qos_violation
+                .partial_cmp(&b.qos_violation)
+                .expect("violation rates are finite")
+        })
+        .expect("outcomes nonempty");
+    let mut notes = vec![
+        format!(
+            "extension beyond the paper: {} Monte Carlo mixes of 1-8 cores (seed {seed}), {policy} vs Fair Share on each mix",
+            n
+        ),
+        format!(
+            "QoS slack {:.0}%: a core violates when its speedup vs running alone drops below {:.2}",
+            slack * 100.0,
+            1.0 - slack
+        ),
+        format!(
+            "QoS-violation tail: {violating}/{} sampled mixes starve at least one core; p95 rate {:.3}, p99 rate {:.3}",
+            outcomes.len(),
+            quantile(&qos, 0.95).unwrap_or(f64::NAN),
+            quantile(&qos, 0.99).unwrap_or(f64::NAN),
+        ),
+    ];
+    if worst.qos_violation > 0.0 {
+        notes.push(format!(
+            "worst mix: {} ({}-core, {:.0}% of cores violating)",
+            worst.spec,
+            worst.cores,
+            worst.qos_violation * 100.0
+        ));
+    }
+    Experiment {
+        id: format!("MC {policy}"),
+        title: format!("Monte Carlo mix distribution — {policy} vs Fair Share"),
+        table,
+        notes,
+        perf: Some(perf),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn outcome(ws: f64, qos: f64) -> SampleOutcome {
+        SampleOutcome {
+            spec: format!("mix-{ws}"),
+            cores: 4,
+            ws_norm: ws,
+            dyn_norm: 0.7,
+            static_norm: 0.8,
+            qos_violation: qos,
+        }
+    }
+
+    #[test]
+    fn figure_reports_distribution_and_tail() {
+        let outcomes: Vec<SampleOutcome> = (0..10)
+            .map(|i| outcome(1.0 + i as f64 * 0.01, if i == 9 { 0.5 } else { 0.0 }))
+            .collect();
+        let e = figure(
+            "cooperative",
+            &outcomes,
+            10,
+            7,
+            0.05,
+            ExperimentPerf::local(1.0, 1000),
+        );
+        assert_eq!(e.id, "MC cooperative");
+        assert_eq!(e.table.len(), 4, "four distribution rows");
+        assert!(
+            e.notes.iter().any(|n| n.contains("1/10 sampled mixes")),
+            "{:?}",
+            e.notes
+        );
+        assert!(
+            e.notes.iter().any(|n| n.contains("worst mix")),
+            "{:?}",
+            e.notes
+        );
+        assert!(
+            e.notes.iter().any(|n| n.contains("seed 7")),
+            "{:?}",
+            e.notes
+        );
+    }
+}

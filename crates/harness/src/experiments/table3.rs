@@ -51,9 +51,9 @@ pub fn table(scale: SimScale) -> Experiment {
             Benchmark::ALL.len(),
             scale.name
         )],
-        perf: Some(crate::experiments::ExperimentPerf {
-            wall_seconds: started.elapsed().as_secs_f64(),
+        perf: Some(crate::experiments::ExperimentPerf::local(
+            started.elapsed().as_secs_f64(),
             sim_accesses,
-        }),
+        )),
     }
 }

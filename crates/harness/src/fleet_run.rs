@@ -1,0 +1,920 @@
+//! Harness side of fleet orchestration: the [`fleet::CellRunner`] that
+//! executes one sweep cell, bit-exact serialization of [`RunResult`] /
+//! solo baselines through the fleet JSON layer, cell enumeration for the
+//! sweep-aware `repro` targets, and the merge that folds a results store
+//! back into a [`Sweep`] identical to what one process would compute.
+//!
+//! Bit-identity is the contract: every `f64` crosses the worker protocol
+//! and the results store via Rust's shortest-roundtrip formatting and
+//! every `u64` as a raw integer token, so a sweep table merged from any
+//! sharding, any worker interleaving, and any number of kill/resume
+//! cycles is byte-for-byte the table of the unsharded run (pinned by the
+//! `fleet_determinism` proptest and the `fleet_e2e` smoke).
+
+use std::collections::HashMap;
+use std::sync::Mutex;
+
+use coop_core::MissCurve;
+use energy::{CoreEnergyReport, EnergyCounts, EnergyReport};
+use fleet::json::{self, Value};
+use fleet::{CellKind, CellSpec, FleetConfig, FleetReport, Manifest, ResultsStore};
+use simkit::DetRng;
+use workloads::ResolvedWorkload;
+
+use crate::experiments::fig5_10::{figure_from, Metric};
+use crate::experiments::sample::{self, SampleOutcome};
+use crate::experiments::{self, Experiment, ExperimentPerf, Sweep};
+use crate::scale::SimScale;
+use crate::solo;
+use crate::system::RunResult;
+
+// ---------------------------------------------------------------------------
+// Payload serialization (bit-exact)
+
+fn req<'v>(v: &'v Value, key: &str) -> Result<&'v Value, String> {
+    v.get(key).ok_or_else(|| format!("payload missing '{key}'"))
+}
+
+fn f64_of(v: &Value, key: &str) -> Result<f64, String> {
+    req(v, key)?
+        .as_f64()
+        .ok_or_else(|| format!("payload '{key}' is not a number"))
+}
+
+fn u64_of(v: &Value, key: &str) -> Result<u64, String> {
+    req(v, key)?
+        .as_u64()
+        .ok_or_else(|| format!("payload '{key}' is not an integer"))
+}
+
+fn str_of(v: &Value, key: &str) -> Result<String, String> {
+    Ok(req(v, key)?
+        .as_str()
+        .ok_or_else(|| format!("payload '{key}' is not a string"))?
+        .to_string())
+}
+
+fn arr_f64_of(v: &Value, key: &str) -> Result<Vec<f64>, String> {
+    json::read_arr_f64(req(v, key)?).map_err(|_| format!("payload '{key}' is not a float array"))
+}
+
+fn arr_u64_of(v: &Value, key: &str) -> Result<Vec<u64>, String> {
+    json::read_arr_u64(req(v, key)?).map_err(|_| format!("payload '{key}' is not an int array"))
+}
+
+fn curve_to_value(c: &MissCurve) -> Value {
+    let values: Vec<f64> = (0..=c.ways()).map(|w| c.misses(w)).collect();
+    json::obj(vec![
+        ("misses", json::arr_f64(&values)),
+        ("accesses", json::num_f64(c.accesses())),
+    ])
+}
+
+fn curve_from_value(v: &Value) -> Result<MissCurve, String> {
+    Ok(MissCurve::new(
+        arr_f64_of(v, "misses")?,
+        f64_of(v, "accesses")?,
+    ))
+}
+
+fn curves_to_value(curves: &[MissCurve]) -> Value {
+    Value::Arr(curves.iter().map(curve_to_value).collect())
+}
+
+fn curves_from_value(v: &Value, key: &str) -> Result<Vec<MissCurve>, String> {
+    req(v, key)?
+        .as_arr()
+        .ok_or_else(|| format!("payload '{key}' is not an array"))?
+        .iter()
+        .map(curve_from_value)
+        .collect()
+}
+
+/// Serializes a [`RunResult`] — every field, so any figure can be rebuilt
+/// from stored cells without rerunning the simulator.
+pub fn run_result_to_value(r: &RunResult) -> Value {
+    json::obj(vec![
+        ("policy", json::str(&r.policy)),
+        ("label", json::str(&r.label)),
+        ("workload", json::str(&r.workload)),
+        ("ipc", json::arr_f64(&r.ipc)),
+        ("mpki", json::arr_f64(&r.mpki)),
+        ("apki", json::arr_f64(&r.apki)),
+        ("accesses", json::arr_u64(&r.accesses)),
+        (
+            "counts",
+            json::obj(vec![
+                ("tag_way_probes", json::num_u64(r.counts.tag_way_probes)),
+                ("data_reads", json::num_u64(r.counts.data_reads)),
+                ("data_writes", json::num_u64(r.counts.data_writes)),
+                ("umon_probes", json::num_u64(r.counts.umon_probes)),
+                ("vector_accesses", json::num_u64(r.counts.vector_accesses)),
+                ("on_way_cycles", json::num_u64(r.counts.on_way_cycles)),
+                ("gated_way_cycles", json::num_u64(r.counts.gated_way_cycles)),
+                ("total_cycles", json::num_u64(r.counts.total_cycles)),
+            ]),
+        ),
+        (
+            "energy",
+            json::obj(vec![
+                ("dynamic_nj", json::num_f64(r.energy.dynamic_nj)),
+                ("tag_nj", json::num_f64(r.energy.tag_nj)),
+                ("overhead_nj", json::num_f64(r.energy.overhead_nj)),
+                ("data_nj", json::num_f64(r.energy.data_nj)),
+                ("static_nj", json::num_f64(r.energy.static_nj)),
+            ]),
+        ),
+        ("avg_ways", json::num_f64(r.avg_ways)),
+        ("cycles", json::num_u64(r.cycles)),
+        (
+            "cp_transfer_durations",
+            json::arr_u64(&r.cp_transfer_durations),
+        ),
+        (
+            "ucp_transfer_durations",
+            json::arr_u64(&r.ucp_transfer_durations),
+        ),
+        ("takeover_events", json::arr_u64(&r.takeover_events)),
+        ("forced_transfers", json::num_u64(r.forced_transfers)),
+        ("flush_lines", json::num_u64(r.flush_lines)),
+        ("flush_series", json::arr_f64(&r.flush_series)),
+        ("flush_bucket", json::num_u64(r.flush_bucket)),
+        ("repartitions", json::num_u64(r.repartitions)),
+        ("epoch_curves", curves_to_value(&r.epoch_curves)),
+        (
+            "core_energy",
+            json::obj(vec![
+                ("dynamic_nj", json::num_f64(r.core_energy.dynamic_nj)),
+                ("static_nj", json::num_f64(r.core_energy.static_nj)),
+            ]),
+        ),
+        ("avg_freq_ghz", json::arr_f64(&r.avg_freq_ghz)),
+        (
+            "freq_residency",
+            Value::Arr(r.freq_residency.iter().map(|c| json::arr_f64(c)).collect()),
+        ),
+        ("avg_ways_owned", json::arr_f64(&r.avg_ways_owned)),
+    ])
+}
+
+/// Rebuilds a [`RunResult`] from its serialized form.
+pub fn run_result_from_value(v: &Value) -> Result<RunResult, String> {
+    let counts = req(v, "counts")?;
+    let energy = req(v, "energy")?;
+    let core_energy = req(v, "core_energy")?;
+    let takeover: Vec<u64> = arr_u64_of(v, "takeover_events")?;
+    if takeover.len() != 4 {
+        return Err(format!(
+            "takeover_events must have 4 entries, got {}",
+            takeover.len()
+        ));
+    }
+    Ok(RunResult {
+        policy: str_of(v, "policy")?,
+        label: str_of(v, "label")?,
+        workload: str_of(v, "workload")?,
+        ipc: arr_f64_of(v, "ipc")?,
+        mpki: arr_f64_of(v, "mpki")?,
+        apki: arr_f64_of(v, "apki")?,
+        accesses: arr_u64_of(v, "accesses")?,
+        counts: EnergyCounts {
+            tag_way_probes: u64_of(counts, "tag_way_probes")?,
+            data_reads: u64_of(counts, "data_reads")?,
+            data_writes: u64_of(counts, "data_writes")?,
+            umon_probes: u64_of(counts, "umon_probes")?,
+            vector_accesses: u64_of(counts, "vector_accesses")?,
+            on_way_cycles: u64_of(counts, "on_way_cycles")?,
+            gated_way_cycles: u64_of(counts, "gated_way_cycles")?,
+            total_cycles: u64_of(counts, "total_cycles")?,
+        },
+        energy: EnergyReport {
+            dynamic_nj: f64_of(energy, "dynamic_nj")?,
+            tag_nj: f64_of(energy, "tag_nj")?,
+            overhead_nj: f64_of(energy, "overhead_nj")?,
+            data_nj: f64_of(energy, "data_nj")?,
+            static_nj: f64_of(energy, "static_nj")?,
+        },
+        avg_ways: f64_of(v, "avg_ways")?,
+        cycles: u64_of(v, "cycles")?,
+        cp_transfer_durations: arr_u64_of(v, "cp_transfer_durations")?,
+        ucp_transfer_durations: arr_u64_of(v, "ucp_transfer_durations")?,
+        takeover_events: [takeover[0], takeover[1], takeover[2], takeover[3]],
+        forced_transfers: u64_of(v, "forced_transfers")?,
+        flush_lines: u64_of(v, "flush_lines")?,
+        flush_series: arr_f64_of(v, "flush_series")?,
+        flush_bucket: u64_of(v, "flush_bucket")?,
+        repartitions: u64_of(v, "repartitions")?,
+        epoch_curves: curves_from_value(v, "epoch_curves")?,
+        core_energy: CoreEnergyReport {
+            dynamic_nj: f64_of(core_energy, "dynamic_nj")?,
+            static_nj: f64_of(core_energy, "static_nj")?,
+        },
+        avg_freq_ghz: arr_f64_of(v, "avg_freq_ghz")?,
+        freq_residency: req(v, "freq_residency")?
+            .as_arr()
+            .ok_or("payload 'freq_residency' is not an array")?
+            .iter()
+            .map(|c| json::read_arr_f64(c).map_err(|_| "bad freq_residency row".to_string()))
+            .collect::<Result<Vec<_>, _>>()?,
+        avg_ways_owned: arr_f64_of(v, "avg_ways_owned")?,
+    })
+}
+
+/// Serializes a solo baseline ([`solo::SoloResult`]).
+pub fn solo_to_value(s: &solo::SoloResult) -> Value {
+    json::obj(vec![
+        ("ipc", json::num_f64(s.ipc)),
+        ("mpki", json::num_f64(s.mpki)),
+        ("apki", json::num_f64(s.apki)),
+        ("accesses", json::num_u64(s.accesses)),
+        ("epoch_curves", curves_to_value(&s.epoch_curves)),
+    ])
+}
+
+/// Rebuilds a solo baseline payload.
+pub fn solo_from_value(v: &Value) -> Result<solo::SoloResult, String> {
+    Ok(solo::SoloResult {
+        ipc: f64_of(v, "ipc")?,
+        mpki: f64_of(v, "mpki")?,
+        apki: f64_of(v, "apki")?,
+        accesses: u64_of(v, "accesses")?,
+        epoch_curves: curves_from_value(v, "epoch_curves")?,
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Cell execution (the worker side)
+
+fn scale_by_name(name: &str) -> Result<SimScale, String> {
+    SimScale::by_name(name).ok_or_else(|| format!("unknown scale '{name}'"))
+}
+
+/// Executes fleet cells with the harness simulator. One instance serves a
+/// whole worker process, so the process-wide solo cache deduplicates
+/// baseline work across the cells of every shard it is assigned.
+pub struct HarnessCellRunner;
+
+impl fleet::CellRunner for HarnessCellRunner {
+    fn run_cell(&self, cell: &CellSpec) -> Result<(Value, u64), String> {
+        let scale = scale_by_name(&cell.scale)?;
+        match cell.kind {
+            CellKind::Sweep => {
+                let workload = crate::workload_registry()
+                    .resolve(&cell.workload)
+                    .map_err(|e| e.to_string())?;
+                if workload.cores() != cell.cores {
+                    return Err(format!(
+                        "cell says {} cores but '{}' resolves to {}",
+                        cell.cores,
+                        cell.workload,
+                        workload.cores()
+                    ));
+                }
+                let policy = crate::policy_registry()
+                    .resolve(&cell.policy)
+                    .ok_or_else(|| format!("unknown policy '{}'", cell.policy))?;
+                let r = experiments::run_group(&workload, policy, scale);
+                let accesses = r.accesses.iter().sum();
+                Ok((run_result_to_value(&r), accesses))
+            }
+            CellKind::Solo => {
+                let member = crate::workload_registry()
+                    .member(&cell.workload)
+                    .map_err(|e| e.to_string())?;
+                let s = solo::solo_result_for(&member, solo::solo_llc(cell.cores), scale);
+                Ok((solo_to_value(&s), s.accesses))
+            }
+        }
+    }
+}
+
+/// The `repro worker` entry point: serve the NDJSON protocol on
+/// stdin/stdout until the orchestrator says exit.
+pub fn worker_serve() {
+    fleet::serve(&HarnessCellRunner);
+}
+
+// ---------------------------------------------------------------------------
+// Cell enumeration
+
+/// The sweep layout behind a `repro` target: which core counts it runs
+/// and which metrics it renders per core count. `None` for targets the
+/// fleet does not cover.
+pub fn sweep_targets(what: &str) -> Option<Vec<(usize, Vec<Metric>)>> {
+    let all = || {
+        vec![
+            Metric::WeightedSpeedup,
+            Metric::DynamicEnergy,
+            Metric::StaticEnergy,
+        ]
+    };
+    Some(match what {
+        "fig5" => vec![(2, vec![Metric::WeightedSpeedup])],
+        "fig6" => vec![(2, vec![Metric::DynamicEnergy])],
+        "fig7" => vec![(2, vec![Metric::StaticEnergy])],
+        "fig8" => vec![(4, vec![Metric::WeightedSpeedup])],
+        "fig9" => vec![(4, vec![Metric::DynamicEnergy])],
+        "fig10" => vec![(4, vec![Metric::StaticEnergy])],
+        "fig5_10" => vec![(2, all()), (4, all())],
+        "four-core" => vec![(4, all())],
+        "eight_core" | "eight-core" => vec![(8, all())],
+        _ => return None,
+    })
+}
+
+/// Normalizes a sweep policy list the way [`experiments::cached_sweep_filtered`]
+/// does: Fair Share joins at the front when missing (every figure
+/// normalizes to it).
+pub fn policies_with_fair(policies: &[&'static str]) -> Vec<&'static str> {
+    let mut out = policies.to_vec();
+    if !out.contains(&"fair") {
+        out.insert(0, "fair");
+    }
+    out
+}
+
+/// The filtered groups of one core count, mirroring the sweep cache's
+/// filter semantics (case-insensitive label match; empty filter = all).
+fn filtered_groups(cores: usize, group_filter: &[String]) -> Vec<ResolvedWorkload> {
+    experiments::groups_for_cores(cores)
+        .into_iter()
+        .filter(|g| {
+            group_filter.is_empty()
+                || group_filter
+                    .iter()
+                    .any(|f| f.eq_ignore_ascii_case(&g.label))
+        })
+        .collect()
+}
+
+/// Cells for the given sweep core counts: solo baselines first (shared
+/// by every policy cell of their group), then one sweep cell per
+/// (group, policy). Deterministic order — the cell list (and thus every
+/// shard plan and the manifest's cell set) is a pure function of the
+/// request.
+pub fn sweep_cells(
+    core_counts: &[usize],
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+) -> Vec<CellSpec> {
+    let policies = policies_with_fair(policies);
+    let mut cells = Vec::new();
+    for &cores in core_counts {
+        let groups = filtered_groups(cores, group_filter);
+        let mut seen_members: Vec<String> = Vec::new();
+        for g in &groups {
+            for m in g.member_names() {
+                if !seen_members.iter().any(|s| s == m) {
+                    seen_members.push(m.to_string());
+                    cells.push(CellSpec::solo(m, cores, scale.name));
+                }
+            }
+        }
+        for g in &groups {
+            for p in &policies {
+                cells.push(CellSpec::sweep(&g.label, p, cores, scale.name));
+            }
+        }
+    }
+    cells
+}
+
+// ---------------------------------------------------------------------------
+// Monte Carlo sampling
+
+/// A Monte Carlo sweep plan: `n` mixes from seed `seed`, QoS slack for
+/// the violation metric.
+#[derive(Debug, Clone, Copy)]
+pub struct SamplePlan {
+    /// Number of sampled mixes.
+    pub n: u64,
+    /// RNG seed (same seed = same mixes on every host).
+    pub seed: u64,
+    /// QoS slack: a core violates when its speedup vs running alone
+    /// drops below `1 - slack`.
+    pub slack: f64,
+}
+
+/// The sampled mix specs, in draw order (duplicates possible and kept —
+/// the distribution weights repeated draws).
+pub fn sample_specs(plan: &SamplePlan) -> Vec<String> {
+    let registry = crate::workload_registry();
+    let mut rng = DetRng::derive(plan.seed, "fleet.sample");
+    (0..plan.n)
+        .map(|_| registry.sample_mix(&mut rng, workloads::MAX_CORES))
+        .collect()
+}
+
+/// Default Monte Carlo policy set when `--policy` is absent.
+pub const SAMPLE_POLICIES: [&str; 2] = ["fair", "cooperative"];
+
+/// Cells for a sampled mix list (deduplicated by cell ID; repeated draws
+/// run once and count many times).
+pub fn sample_cells(
+    specs: &[String],
+    scale: SimScale,
+    policies: &[&'static str],
+) -> Result<Vec<CellSpec>, String> {
+    let registry = crate::workload_registry();
+    let policies = policies_with_fair(policies);
+    let mut cells: Vec<CellSpec> = Vec::new();
+    let mut seen: Vec<String> = Vec::new();
+    let push = |c: CellSpec, seen: &mut Vec<String>, cells: &mut Vec<CellSpec>| {
+        let id = c.id();
+        if !seen.contains(&id) {
+            seen.push(id);
+            cells.push(c);
+        }
+    };
+    for spec in specs {
+        let wl = registry.resolve(spec).map_err(|e| e.to_string())?;
+        for m in wl.member_names() {
+            push(
+                CellSpec::solo(m, wl.cores(), scale.name),
+                &mut seen,
+                &mut cells,
+            );
+        }
+        for p in &policies {
+            push(
+                CellSpec::sweep(&wl.label, p, wl.cores(), scale.name),
+                &mut seen,
+                &mut cells,
+            );
+        }
+    }
+    Ok(cells)
+}
+
+// ---------------------------------------------------------------------------
+// Merging stored cells back into harness results
+
+/// A source of finished cell payloads: the results store for fleet runs,
+/// an in-memory map for in-process runs and tests.
+pub type CellLookup<'a> = &'a dyn Fn(&CellSpec) -> Result<Value, String>;
+
+fn lookup_run(lookup: CellLookup, cell: &CellSpec) -> Result<RunResult, String> {
+    run_result_from_value(&lookup(cell)?)
+        .map_err(|e| format!("cell {} ({}): {e}", cell.id(), cell.canonical()))
+}
+
+fn lookup_solo(lookup: CellLookup, cell: &CellSpec) -> Result<solo::SoloResult, String> {
+    solo_from_value(&lookup(cell)?)
+        .map_err(|e| format!("cell {} ({}): {e}", cell.id(), cell.canonical()))
+}
+
+/// Folds stored cells back into a [`Sweep`] with exactly the shape
+/// [`experiments::cached_sweep_filtered`] computes in-process: groups in
+/// registry order, policies with Fair Share first, `ipc_alone` from the
+/// solo cells. `wall_seconds`/`sim_accesses` carry the orchestration's
+/// aggregate cost (they feed the perf line, never the tables).
+pub fn merge_sweep(
+    lookup: CellLookup,
+    cores: usize,
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+    wall_seconds: f64,
+    sim_accesses: u64,
+) -> Result<Sweep, String> {
+    let policies = policies_with_fair(policies);
+    let groups = filtered_groups(cores, group_filter);
+    if groups.is_empty() {
+        return Err(format!("no {cores}-core groups under the given filter"));
+    }
+    let mut runs = Vec::with_capacity(groups.len());
+    let mut ipc_alone = Vec::with_capacity(groups.len());
+    for g in &groups {
+        let mut row = Vec::with_capacity(policies.len());
+        for p in &policies {
+            row.push(lookup_run(
+                lookup,
+                &CellSpec::sweep(&g.label, p, cores, scale.name),
+            )?);
+        }
+        runs.push(row);
+        ipc_alone.push(
+            g.member_names()
+                .iter()
+                .map(|m| lookup_solo(lookup, &CellSpec::solo(m, cores, scale.name)).map(|s| s.ipc))
+                .collect::<Result<Vec<_>, _>>()?,
+        );
+    }
+    Ok(Sweep {
+        cores,
+        policies,
+        groups,
+        runs,
+        ipc_alone,
+        wall_seconds,
+        sim_accesses,
+    })
+}
+
+/// Per-sample distributional outcomes for one policy vs Fair Share.
+pub fn sample_outcomes(
+    lookup: CellLookup,
+    specs: &[String],
+    scale: SimScale,
+    policy: &'static str,
+    slack: f64,
+) -> Result<Vec<SampleOutcome>, String> {
+    let registry = crate::workload_registry();
+    let mut out = Vec::with_capacity(specs.len());
+    for spec in specs {
+        let wl = registry.resolve(spec).map_err(|e| e.to_string())?;
+        let cores = wl.cores();
+        let ipc_alone: Vec<f64> = wl
+            .member_names()
+            .iter()
+            .map(|m| lookup_solo(lookup, &CellSpec::solo(m, cores, scale.name)).map(|s| s.ipc))
+            .collect::<Result<Vec<_>, _>>()?;
+        let fair = lookup_run(
+            lookup,
+            &CellSpec::sweep(&wl.label, "fair", cores, scale.name),
+        )?;
+        let run = lookup_run(
+            lookup,
+            &CellSpec::sweep(&wl.label, policy, cores, scale.name),
+        )?;
+        let violations = run
+            .ipc
+            .iter()
+            .zip(ipc_alone.iter())
+            .filter(|(ipc, alone)| *ipc / *alone < 1.0 - slack)
+            .count();
+        out.push(SampleOutcome {
+            spec: wl.label.clone(),
+            cores,
+            ws_norm: run.weighted_speedup(&ipc_alone) / fair.weighted_speedup(&ipc_alone),
+            dyn_norm: run.energy.dynamic_nj / fair.energy.dynamic_nj,
+            static_norm: run.energy.static_nj / fair.energy.static_nj,
+            qos_violation: violations as f64 / cores as f64,
+        });
+    }
+    Ok(out)
+}
+
+/// Runs every cell in-process (on the harness thread pool) and returns
+/// payloads by cell ID — the single-process twin of a fleet run, used by
+/// the Monte Carlo mode without `--workers` and by the determinism tests.
+pub fn compute_cells_inprocess(cells: &[CellSpec]) -> Result<HashMap<String, Value>, String> {
+    use fleet::CellRunner as _;
+    let results: Mutex<HashMap<String, Value>> = Mutex::new(HashMap::new());
+    let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
+    experiments::parallel_for_each(cells.to_vec(), |cell| {
+        match HarnessCellRunner.run_cell(&cell) {
+            Ok((payload, _)) => {
+                results.lock().expect("results").insert(cell.id(), payload);
+            }
+            Err(e) => errors
+                .lock()
+                .expect("errors")
+                .push(format!("{}: {e}", cell.canonical())),
+        }
+    });
+    let errors = errors.into_inner().expect("errors");
+    if let Some(first) = errors.first() {
+        return Err(format!("{} cells failed; first: {first}", errors.len()));
+    }
+    Ok(results.into_inner().expect("results"))
+}
+
+// ---------------------------------------------------------------------------
+// Orchestration glue (the `repro` fleet path)
+
+/// Fleet flags from the `repro` command line.
+#[derive(Debug, Clone)]
+pub struct FleetOptions {
+    /// Worker process count (`--workers`).
+    pub workers: usize,
+    /// Shard count override (`--shards`).
+    pub shards: Option<usize>,
+    /// Resume onto existing partial results (`--resume`).
+    pub resume: bool,
+}
+
+/// What a fleet run produced: the merged experiments plus the
+/// orchestration report (for exit codes and logging).
+pub struct FleetOutcome {
+    /// Merged experiments, same order the in-process path would emit.
+    pub experiments: Vec<Experiment>,
+    /// Orchestration statistics.
+    pub report: FleetReport,
+}
+
+/// Builds the manifest for a run (also written by single-process
+/// `--json` runs, so a later `--resume` can verify compatibility).
+pub fn manifest_for(
+    what: &str,
+    scale: SimScale,
+    policies: &[&'static str],
+    groups: &[String],
+    sample: Option<&SamplePlan>,
+    cells: &[CellSpec],
+) -> Manifest {
+    let policy_names: Vec<String> = policies_with_fair(policies)
+        .iter()
+        .map(|p| p.to_string())
+        .collect();
+    Manifest::new(
+        what,
+        scale.name,
+        &policy_names,
+        groups,
+        sample.map(|p| (p.n, p.seed)),
+        &fleet::version_string(),
+        cells,
+    )
+}
+
+/// Enumerates the cells a target needs (`None` when the target is not
+/// fleet-capable).
+pub fn cells_for_target(
+    what: &str,
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+    sample: Option<&SamplePlan>,
+) -> Option<Result<Vec<CellSpec>, String>> {
+    if let Some(plan) = sample {
+        let specs = sample_specs(plan);
+        let pol: Vec<&'static str> = if policies.is_empty() {
+            SAMPLE_POLICIES.to_vec()
+        } else {
+            policies.to_vec()
+        };
+        return Some(sample_cells(&specs, scale, &pol));
+    }
+    let targets = sweep_targets(what)?;
+    let core_counts: Vec<usize> = targets.iter().map(|(c, _)| *c).collect();
+    let pol: Vec<&'static str> = if policies.is_empty() {
+        coop_core::PAPER_POLICIES.to_vec()
+    } else {
+        policies.to_vec()
+    };
+    Some(Ok(sweep_cells(&core_counts, scale, &pol, group_filter)))
+}
+
+/// Opens the store, enforces manifest compatibility, runs the fleet, and
+/// merges the finished cells into experiments. `Err` carries a
+/// user-facing message; partial results stay on disk for `--resume`.
+pub fn run_fleet_target(
+    what: &str,
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+    sample: Option<&SamplePlan>,
+    dir: &str,
+    opts: &FleetOptions,
+) -> Result<FleetOutcome, String> {
+    let cells =
+        cells_for_target(what, scale, policies, group_filter, sample).ok_or_else(|| {
+            format!("'{what}' is not a fleet-capable target (sweep figures and 'sample' are)")
+        })??;
+    if cells.is_empty() {
+        return Err(format!(
+            "'{what}' produced no cells under the given filters"
+        ));
+    }
+
+    let store = ResultsStore::open(dir).map_err(|e| e.to_string())?;
+    let manifest = manifest_for(what, scale, policies, group_filter, sample, &cells);
+    match store.read_manifest().map_err(|e| e.to_string())? {
+        Some(existing) => {
+            manifest.compatible_with(&existing).map_err(|e| {
+                format!("{e}\nuse a fresh --json directory, or rerun the original configuration")
+            })?;
+            let done = store.done_cell_ids().map_err(|e| e.to_string())?;
+            if !opts.resume && !done.is_empty() {
+                return Err(format!(
+                    "results dir already holds {} finished cells; pass --resume to continue it or choose a fresh --json directory",
+                    done.len()
+                ));
+            }
+        }
+        None => {
+            if opts.resume {
+                return Err(format!("--resume: no manifest found in '{dir}'"));
+            }
+            store.write_manifest(&manifest).map_err(|e| e.to_string())?;
+        }
+    }
+
+    let exe = std::env::current_exe()
+        .map_err(|e| format!("cannot locate the repro binary for workers: {e}"))?;
+    let mut cfg = FleetConfig::new(
+        vec![exe.display().to_string(), "worker".to_string()],
+        opts.workers,
+    );
+    cfg.shards = opts.shards;
+    let report = fleet::run_fleet(&cells, &store, &cfg).map_err(|e| e.to_string())?;
+    if !report.complete() {
+        return Err(format!(
+            "{} cells failed permanently (see the fleet log above); finished cells are saved — fix the cause and rerun with --resume",
+            report.failed_cells.len()
+        ));
+    }
+
+    let lookup = |cell: &CellSpec| -> Result<Value, String> {
+        store
+            .read_cell(&cell.id())
+            .map(|(_, payload)| payload)
+            .map_err(|e| e.to_string())
+    };
+    let perf = ExperimentPerf {
+        wall_seconds: report.wall_seconds,
+        sim_accesses: report.sim_accesses,
+        workers: opts.workers,
+    };
+    let experiments =
+        merge_target_experiments(&lookup, what, scale, policies, group_filter, sample, perf)?;
+    Ok(FleetOutcome {
+        experiments,
+        report,
+    })
+}
+
+/// Builds the target's experiments from finished cells — shared by the
+/// fleet path (store lookup) and the in-process Monte Carlo path (map
+/// lookup).
+pub fn merge_target_experiments(
+    lookup: CellLookup,
+    what: &str,
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+    sample: Option<&SamplePlan>,
+    perf: ExperimentPerf,
+) -> Result<Vec<Experiment>, String> {
+    if let Some(plan) = sample {
+        let pol: Vec<&'static str> = if policies.is_empty() {
+            SAMPLE_POLICIES.to_vec()
+        } else {
+            policies.to_vec()
+        };
+        let specs = sample_specs(plan);
+        let mut out = Vec::new();
+        for p in policies_with_fair(&pol) {
+            if p == "fair" {
+                continue;
+            }
+            let outcomes = sample_outcomes(lookup, &specs, scale, p, plan.slack)?;
+            out.push(sample::figure(
+                p, &outcomes, plan.n, plan.seed, plan.slack, perf,
+            ));
+        }
+        return Ok(out);
+    }
+    let targets = sweep_targets(what).ok_or_else(|| format!("'{what}' has no sweep layout"))?;
+    let pol: Vec<&'static str> = if policies.is_empty() {
+        coop_core::PAPER_POLICIES.to_vec()
+    } else {
+        policies.to_vec()
+    };
+    let mut out = Vec::new();
+    for (cores, metrics) in targets {
+        let sweep = merge_sweep(
+            lookup,
+            cores,
+            scale,
+            &pol,
+            group_filter,
+            perf.wall_seconds,
+            perf.sim_accesses,
+        )?;
+        for m in metrics {
+            out.push(figure_from(&sweep, cores, m, group_filter, perf));
+        }
+    }
+    Ok(out)
+}
+
+/// The in-process Monte Carlo path (`repro sample` without `--workers`):
+/// compute every cell on the local thread pool, then build the same
+/// distributional report the fleet path merges.
+pub fn run_sample_inprocess(
+    scale: SimScale,
+    policies: &[&'static str],
+    plan: &SamplePlan,
+) -> Result<Vec<Experiment>, String> {
+    let started = std::time::Instant::now();
+    let cells = cells_for_target("sample", scale, policies, &[], Some(plan))
+        .expect("sample is fleet-capable")?;
+    let results = compute_cells_inprocess(&cells)?;
+    let sim_accesses: u64 = results
+        .values()
+        .map(|v| {
+            // Sweep payloads carry per-core access arrays; solo payloads a
+            // single count.
+            v.get("accesses")
+                .map(|a| {
+                    json::read_arr_u64(a)
+                        .ok()
+                        .map(|arr| arr.iter().sum())
+                        .or_else(|| a.as_u64())
+                        .unwrap_or(0)
+                })
+                .unwrap_or(0)
+        })
+        .sum();
+    let perf = ExperimentPerf::local(started.elapsed().as_secs_f64(), sim_accesses);
+    let lookup = |cell: &CellSpec| -> Result<Value, String> {
+        results
+            .get(&cell.id())
+            .cloned()
+            .ok_or_else(|| format!("cell {} was not computed", cell.canonical()))
+    };
+    merge_target_experiments(&lookup, "sample", scale, policies, &[], Some(plan), perf)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> SimScale {
+        SimScale::quick()
+    }
+
+    #[test]
+    fn sweep_cells_cover_solos_and_all_policy_cells() {
+        let cells = sweep_cells(&[2], quick(), &["ucp"], &["G2-1".to_string()]);
+        // G2-1 has 2 members → 2 solo cells + 2 policies (fair joins) × 1 group.
+        let solos = cells.iter().filter(|c| c.kind == CellKind::Solo).count();
+        let sweeps: Vec<_> = cells.iter().filter(|c| c.kind == CellKind::Sweep).collect();
+        assert_eq!(solos, 2);
+        assert_eq!(sweeps.len(), 2);
+        assert_eq!(sweeps[0].policy, "fair", "fair joins at the front");
+        assert_eq!(sweeps[1].policy, "ucp");
+        assert!(cells.iter().all(|c| c.scale == "quick"));
+    }
+
+    #[test]
+    fn sample_cells_dedup_repeated_draws() {
+        let plan = SamplePlan {
+            n: 16,
+            seed: 3,
+            slack: 0.05,
+        };
+        let specs = sample_specs(&plan);
+        assert_eq!(specs.len(), 16);
+        assert_eq!(specs, sample_specs(&plan), "seeded replay");
+        let cells = sample_cells(&specs, quick(), &SAMPLE_POLICIES).expect("cells");
+        let mut ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+        ids.sort();
+        let n = ids.len();
+        ids.dedup();
+        assert_eq!(ids.len(), n, "cell list has no duplicate IDs");
+    }
+
+    #[test]
+    fn run_result_roundtrips_bit_exactly() {
+        let wl = crate::workload_registry().resolve("G2-1").expect("group");
+        let r = experiments::run_group(&wl, "cooperative", quick());
+        let v = run_result_to_value(&r);
+        let text = v.render();
+        let back =
+            run_result_from_value(&json::parse(&text).expect("parses")).expect("deserializes");
+        // Spot-check exact bits on the fields the figures read.
+        assert_eq!(back.ipc, r.ipc);
+        assert_eq!(
+            back.energy.dynamic_nj.to_bits(),
+            r.energy.dynamic_nj.to_bits()
+        );
+        assert_eq!(
+            back.energy.static_nj.to_bits(),
+            r.energy.static_nj.to_bits()
+        );
+        assert_eq!(back.accesses, r.accesses);
+        assert_eq!(back.counts, r.counts);
+        assert_eq!(back.epoch_curves, r.epoch_curves);
+        assert_eq!(back.freq_residency, r.freq_residency);
+        // And the whole rendered payload is stable under a second trip.
+        assert_eq!(run_result_to_value(&back).render(), text);
+    }
+
+    #[test]
+    fn manifest_gates_incompatible_runs() {
+        let cells = sweep_cells(&[2], quick(), &["ucp"], &["G2-1".to_string()]);
+        let a = manifest_for(
+            "fig5",
+            quick(),
+            &["ucp"],
+            &["G2-1".to_string()],
+            None,
+            &cells,
+        );
+        let b = manifest_for(
+            "fig5",
+            SimScale::tiny(),
+            &["ucp"],
+            &["G2-1".to_string()],
+            None,
+            &cells,
+        );
+        assert!(a.compatible_with(&a).is_ok());
+        let err = b.compatible_with(&a).expect_err("scale differs");
+        assert!(err.contains("scale"), "{err}");
+    }
+}

@@ -19,6 +19,7 @@
 //! `repro all`, `repro fig5`, `repro table3 --scale medium`, ...
 
 pub mod experiments;
+pub mod fleet_run;
 pub mod metrics;
 pub mod policies;
 pub mod scale;

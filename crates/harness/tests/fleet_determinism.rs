@@ -1,0 +1,216 @@
+//! Fleet determinism property: any partition of a sweep's cell set into
+//! shards, written to a results store in any order — including a kill
+//! partway through followed by a resume into a second store session —
+//! merges into figures *bit-identical* to the single-process sweep.
+//!
+//! The simulations run once (in-process, via the fleet cell runner); each
+//! proptest case then replays a random sharding/ordering/kill-point
+//! through real [`fleet::ResultsStore`] sessions and compares the merged
+//! render against the golden in-process render, byte for byte.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+use fleet::json::{self, Value};
+use fleet::{CellSpec, JournalEntry, ResultsStore};
+use harness::experiments::fig5_10::{figure_for, figure_from, Metric};
+use harness::experiments::ExperimentPerf;
+use harness::fleet_run;
+use harness::SimScale;
+use proptest::prelude::*;
+
+/// One sweep configuration under test: G2-1 over the full paper policy
+/// set, G4-1 over a subset (both at quick scale, per the acceptance
+/// checklist).
+struct Case {
+    cores: usize,
+    policies: &'static [&'static str],
+    group: &'static str,
+}
+
+const CASES: [Case; 2] = [
+    Case {
+        cores: 2,
+        policies: &coop_core::PAPER_POLICIES,
+        group: "G2-1",
+    },
+    Case {
+        cores: 4,
+        policies: &["ucp", "cooperative"],
+        group: "G4-1",
+    },
+];
+
+struct Baseline {
+    cells: Vec<CellSpec>,
+    /// Rendered payload text per cell ID — what a worker would put on
+    /// the wire.
+    payloads: HashMap<String, String>,
+    /// The single-process figure renders (all three metrics per case).
+    golden: Vec<Vec<String>>,
+}
+
+/// Simulates everything exactly once for the whole test binary.
+fn baseline() -> &'static Baseline {
+    static BASELINE: OnceLock<Baseline> = OnceLock::new();
+    BASELINE.get_or_init(|| {
+        let scale = SimScale::quick();
+        let mut cells = Vec::new();
+        let mut golden = Vec::new();
+        for case in &CASES {
+            let filter = vec![case.group.to_string()];
+            cells.extend(fleet_run::sweep_cells(
+                &[case.cores],
+                scale,
+                case.policies,
+                &filter,
+            ));
+            golden.push(
+                [
+                    Metric::WeightedSpeedup,
+                    Metric::DynamicEnergy,
+                    Metric::StaticEnergy,
+                ]
+                .into_iter()
+                .map(|m| {
+                    figure_for(case.cores, m, scale, case.policies, &filter)
+                        .expect("groups exist")
+                        .render()
+                })
+                .collect(),
+            );
+        }
+        let computed = fleet_run::compute_cells_inprocess(&cells).expect("cells compute");
+        let payloads = computed
+            .into_iter()
+            .map(|(id, payload)| (id, payload.render()))
+            .collect();
+        Baseline {
+            cells,
+            payloads,
+            golden,
+        }
+    })
+}
+
+/// Strips the perf line (wall-clock varies run to run; everything else
+/// must match bit for bit).
+fn sans_perf(render: &str) -> String {
+    render
+        .lines()
+        .filter(|l| !l.starts_with("perf:"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+fn fresh_store_dir() -> std::path::PathBuf {
+    static NEXT: AtomicUsize = AtomicUsize::new(0);
+    std::env::temp_dir().join(format!(
+        "fleet_determinism_{}_{}",
+        std::process::id(),
+        NEXT.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #[test]
+    fn any_sharding_order_and_kill_point_merges_bit_identically(
+        shard_count in 1usize..6,
+        order_keys in proptest::collection::vec(any::<u64>(), 32),
+        assign_keys in proptest::collection::vec(any::<u64>(), 32),
+        kill_at in 0usize..32,
+    ) {
+        let base = baseline();
+        let n = base.cells.len();
+        prop_assert!(n <= 32, "strategy vectors must cover every cell");
+
+        // Random shard assignment and write order from the generated keys.
+        let mut order: Vec<usize> = (0..n).collect();
+        order.sort_by_key(|&i| order_keys[i]);
+        let shard_of = |i: usize| format!("shard-{}", assign_keys[i] % shard_count as u64);
+        let kill_at = kill_at % n;
+
+        let dir = fresh_store_dir();
+        // Session 1: write the first `kill_at` cells in permuted order,
+        // then "crash" (drop the store mid-shard).
+        {
+            let store = ResultsStore::open(dir.to_str().expect("utf8 dir")).expect("open");
+            for &i in order.iter().take(kill_at) {
+                let cell = &base.cells[i];
+                write_cell(&store, cell, &shard_of(i), &base.payloads);
+            }
+        }
+        // Session 2 (the resume): a fresh store handle sees exactly the
+        // durable cells and completes the remainder.
+        let store = ResultsStore::open(dir.to_str().expect("utf8 dir")).expect("reopen");
+        let done = store.done_cell_ids().expect("journal reads");
+        prop_assert_eq!(done.len(), kill_at, "every pre-kill cell is durable");
+        for &i in order.iter().skip(kill_at) {
+            let cell = &base.cells[i];
+            prop_assert!(!done.contains(&cell.id()), "remainder was not journaled");
+            write_cell(&store, cell, &shard_of(i), &base.payloads);
+        }
+
+        // Merge through the store — the exact fleet read path — and
+        // compare every figure byte-for-byte with the in-process golden.
+        let lookup = |cell: &CellSpec| -> Result<Value, String> {
+            store
+                .read_cell(&cell.id())
+                .map(|(_, payload)| payload)
+                .map_err(|e| e.to_string())
+        };
+        let perf = ExperimentPerf::local(0.0, 0);
+        for (case, golden) in CASES.iter().zip(base.golden.iter()) {
+            let filter = vec![case.group.to_string()];
+            let sweep = fleet_run::merge_sweep(
+                &lookup,
+                case.cores,
+                SimScale::quick(),
+                case.policies,
+                &filter,
+                0.0,
+                0,
+            )
+            .expect("merge");
+            for (m, want) in [Metric::WeightedSpeedup, Metric::DynamicEnergy, Metric::StaticEnergy]
+                .into_iter()
+                .zip(golden.iter())
+            {
+                let merged = figure_from(&sweep, case.cores, m, &filter, perf).render();
+                prop_assert_eq!(
+                    sans_perf(&merged),
+                    sans_perf(want),
+                    "{}-core {:?} diverged (shards={}, kill_at={})",
+                    case.cores,
+                    m,
+                    shard_count,
+                    kill_at
+                );
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+fn write_cell(
+    store: &ResultsStore,
+    cell: &CellSpec,
+    shard_id: &str,
+    payloads: &HashMap<String, String>,
+) {
+    let text = payloads.get(&cell.id()).expect("payload computed");
+    let payload = json::parse(text).expect("payload parses");
+    store
+        .write_cell(
+            cell,
+            &payload,
+            &JournalEntry {
+                cell_id: cell.id(),
+                shard_id: shard_id.to_string(),
+                wall_ms: 1,
+                accesses: 0,
+            },
+        )
+        .expect("cell writes");
+}

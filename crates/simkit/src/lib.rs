@@ -24,5 +24,5 @@ pub mod table;
 pub mod types;
 
 pub use rng::DetRng;
-pub use stats::{geometric_mean, Counter, Histogram, TimeSeries};
+pub use stats::{geometric_mean, quantile, Counter, Histogram, TimeSeries};
 pub use types::{CoreId, Cycle};

@@ -211,6 +211,28 @@ pub fn geometric_mean(values: &[f64]) -> Option<f64> {
     Some((log_sum / values.len() as f64).exp())
 }
 
+/// The `q`-quantile (`0.0..=1.0`) of `values` by linear interpolation
+/// between order statistics (the "R-7" / spreadsheet convention). `None`
+/// for an empty slice, a non-finite value, or `q` outside `[0, 1]`.
+///
+/// ```
+/// use simkit::stats::quantile;
+/// assert_eq!(quantile(&[3.0, 1.0, 2.0], 0.5), Some(2.0));
+/// assert_eq!(quantile(&[1.0, 2.0], 1.0), Some(2.0));
+/// ```
+pub fn quantile(values: &[f64], q: f64) -> Option<f64> {
+    if values.is_empty() || !(0.0..=1.0).contains(&q) || values.iter().any(|v| !v.is_finite()) {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite values compare"));
+    let pos = q * (sorted.len() - 1) as f64;
+    let lo = pos.floor() as usize;
+    let hi = pos.ceil() as usize;
+    let frac = pos - lo as f64;
+    Some(sorted[lo] + (sorted[hi] - sorted[lo]) * frac)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -287,5 +309,18 @@ mod tests {
         assert_eq!(geometric_mean(&[0.0]), None);
         let g = geometric_mean(&[2.0, 8.0]).unwrap();
         assert!((g - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_interpolates_and_rejects_garbage() {
+        assert_eq!(quantile(&[], 0.5), None);
+        assert_eq!(quantile(&[1.0], 1.5), None);
+        assert_eq!(quantile(&[1.0, f64::NAN], 0.5), None);
+        assert_eq!(quantile(&[7.0], 0.0), Some(7.0));
+        assert_eq!(quantile(&[4.0, 2.0, 3.0, 1.0], 0.0), Some(1.0));
+        assert_eq!(quantile(&[4.0, 2.0, 3.0, 1.0], 1.0), Some(4.0));
+        assert_eq!(quantile(&[4.0, 2.0, 3.0, 1.0], 0.5), Some(2.5));
+        let p25 = quantile(&[1.0, 2.0, 3.0, 4.0], 0.25).unwrap();
+        assert!((p25 - 1.75).abs() < 1e-12);
     }
 }

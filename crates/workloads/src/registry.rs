@@ -20,6 +20,8 @@
 
 use std::sync::Arc;
 
+use simkit::DetRng;
+
 use crate::groups::{eight_core_groups, four_core_groups, two_core_groups};
 use crate::source::{SyntheticWorkload, TraceWorkload, WorkloadFactory};
 use crate::spec::Benchmark;
@@ -300,6 +302,37 @@ impl WorkloadRegistry {
             .collect()
     }
 
+    /// Samples a random 1-[`MAX_CORES`]-core ad-hoc mix spec from the
+    /// registered benchmarks: arity uniform in `1..=max_cores`, members
+    /// drawn without replacement while benchmarks remain (falling back to
+    /// replacement for arities beyond the registry size). The spec
+    /// re-resolves through [`WorkloadRegistry::resolve`], so a seeded
+    /// [`DetRng`] reproduces the exact same mixes on every host — the
+    /// foundation of the Monte Carlo sweep mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics when no benchmarks are registered or `max_cores` is 0 or
+    /// exceeds [`MAX_CORES`].
+    pub fn sample_mix(&self, rng: &mut DetRng, max_cores: usize) -> String {
+        assert!(
+            (1..=MAX_CORES).contains(&max_cores),
+            "mix arity must be 1-{MAX_CORES}, got {max_cores}"
+        );
+        let names = self.benchmark_names();
+        assert!(!names.is_empty(), "cannot sample from an empty registry");
+        let arity = 1 + rng.index(max_cores);
+        let mut pool = names.clone();
+        let mut members = Vec::with_capacity(arity);
+        for _ in 0..arity {
+            if pool.is_empty() {
+                pool = names.clone();
+            }
+            members.push(pool.swap_remove(rng.index(pool.len())));
+        }
+        members.join(",")
+    }
+
     /// Resolves one member name: a registered factory or a `trace:` path
     /// (loaded and parsed on the spot).
     pub fn member(&self, name: &str) -> Result<Arc<dyn WorkloadFactory>, WorkloadError> {
@@ -399,6 +432,30 @@ mod tests {
         assert_eq!(reg.groups_with_prefix("G2-").len(), 14);
         assert_eq!(reg.groups_with_prefix("G4-").len(), 14);
         assert_eq!(reg.groups_with_prefix("G8-").len(), 6);
+    }
+
+    #[test]
+    fn sampled_mixes_are_deterministic_and_resolvable() {
+        let reg = WorkloadRegistry::standard();
+        let mut a = DetRng::from_seed(7);
+        let mut b = DetRng::from_seed(7);
+        for _ in 0..32 {
+            let spec = reg.sample_mix(&mut a, MAX_CORES);
+            assert_eq!(spec, reg.sample_mix(&mut b, MAX_CORES), "seeded replay");
+            let wl = reg.resolve(&spec).expect("sampled specs resolve");
+            assert!((1..=MAX_CORES).contains(&wl.cores()));
+            // Arity ≤ registry size → sampled without replacement.
+            let mut names = wl.member_names();
+            names.sort_unstable();
+            names.dedup();
+            assert_eq!(names.len(), wl.cores(), "no duplicate members in {spec}");
+        }
+        let mut c = DetRng::from_seed(8);
+        let differs = (0..8).any(|_| {
+            reg.sample_mix(&mut c, MAX_CORES)
+                != reg.sample_mix(&mut DetRng::from_seed(7), MAX_CORES)
+        });
+        assert!(differs, "different seeds explore different mixes");
     }
 
     #[test]

@@ -1,0 +1,59 @@
+#!/usr/bin/env bash
+# Fleet smoke: run the fig5_10 quick sweep as a two-worker fleet, kill one
+# worker mid-run with the fault-injection hook, resume, and require the
+# merged figures to be byte-identical to a single-process run.
+#
+# This is the release-mode, unrestricted twin of
+# crates/harness/tests/fleet_e2e.rs (which runs the same scenario in debug
+# over a two-group subset). Uses release binaries; ~2x the plain fig5_10
+# wall time on a single-CPU host.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+WORK=$(mktemp -d "${TMPDIR:-/tmp}/fleet_smoke.XXXXXX")
+trap 'rm -rf "${WORK}"' EXIT
+GOLDEN="${WORK}/golden"
+FLEET="${WORK}/fleet"
+
+cargo build --release -q -p harness --bin repro
+REPRO=target/release/repro
+
+echo "fleet_smoke: golden single-process run"
+"${REPRO}" fig5_10 --scale quick --json "${GOLDEN}" > "${WORK}/golden.out"
+
+echo "fleet_smoke: fleet run with a worker killed on its first shard"
+# 0:panic1 kills the worker holding shard 0 after one finished cell (a
+# mid-shard death); the marker makes the fault fire exactly once, so the
+# bounded-retry path completes the run in this same invocation.
+if ! FLEET_FAIL_SHARD=0:panic1 FLEET_FAIL_ONCE="${WORK}/fired.marker" \
+    "${REPRO}" fig5_10 --scale quick --workers 2 --json "${FLEET}" > "${WORK}/fleet.out" 2> "${WORK}/fleet.err"; then
+  echo "fleet_smoke: FAIL — fleet run did not recover from the injected worker death" >&2
+  cat "${WORK}/fleet.err" >&2
+  exit 1
+fi
+if [ ! -f "${WORK}/fired.marker" ]; then
+  echo "fleet_smoke: FAIL — the fault hook never fired (nothing was tested)" >&2
+  exit 1
+fi
+grep -q 'worker deaths' "${WORK}/fleet.err" || {
+  echo "fleet_smoke: FAIL — fleet report missing from stderr" >&2
+  exit 1
+}
+
+echo "fleet_smoke: resume is a no-op on a complete store"
+"${REPRO}" fig5_10 --scale quick --workers 2 --resume --json "${FLEET}" \
+    > /dev/null 2> "${WORK}/resume.err"
+grep -q '0 computed' "${WORK}/resume.err" || {
+  echo "fleet_smoke: FAIL — resume recomputed cells on a complete store" >&2
+  cat "${WORK}/resume.err" >&2
+  exit 1
+}
+
+echo "fleet_smoke: comparing merged figures against the golden run"
+for fig in figure5 figure6 figure7 figure8 figure9 figure10; do
+  cmp "${GOLDEN}/${fig}.json" "${FLEET}/${fig}.json" || {
+    echo "fleet_smoke: FAIL — ${fig}.json differs from the single-process run" >&2
+    exit 1
+  }
+done
+echo "fleet_smoke: OK — fleet output bit-identical to single-process"
