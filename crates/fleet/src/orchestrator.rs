@@ -11,7 +11,12 @@
 //! everything else, and `--resume` against the same results directory
 //! picks up exactly the missing cells.
 
-use std::collections::{BTreeSet, HashMap, VecDeque};
+// Wall-clock and detached threads are this file's job (timeouts, backoff,
+// per-worker stdout readers); allowlisted in clippy.toml terms here and in
+// simlint's path allowlist (crates/simlint/src/rules.rs).
+#![allow(clippy::disallowed_methods)]
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io::Write as _;
 use std::process::{Child, ChildStdin, Command, Stdio};
 use std::sync::mpsc;
@@ -209,7 +214,7 @@ pub fn run_fleet(
             failed: false,
         })
         .collect();
-    let specs_by_id: HashMap<String, CellSpec> =
+    let specs_by_id: BTreeMap<String, CellSpec> =
         pending.iter().map(|c| (c.id(), c.clone())).collect();
     eprintln!(
         "# fleet: {} cells ({} resumed) → {} shards across {} workers",
@@ -223,7 +228,10 @@ pub fn run_fleet(
     let mut queue: VecDeque<(usize, Instant)> = (0..states.len()).map(|i| (i, t0)).collect();
 
     let (tx, rx) = mpsc::channel::<(u64, Event)>();
-    let mut workers: HashMap<u64, WorkerSlot> = HashMap::new();
+    // BTreeMap so the idle-worker scan and status counts iterate in uid
+    // order — worker scheduling stays reproducible given the same event
+    // sequence.
+    let mut workers: BTreeMap<u64, WorkerSlot> = BTreeMap::new();
     let mut next_uid: u64 = 0;
     let mut last_status = Instant::now();
 
@@ -240,8 +248,15 @@ pub fn run_fleet(
                 return None;
             }
         };
-        let stdout = child.stdout.take().expect("piped worker stdout");
-        let stdin = child.stdin.take().expect("piped worker stdin");
+        // Stdio::piped() was requested, so these are present on any sane
+        // platform — but a panic here would kill the whole run, so treat
+        // absence as a spawn failure and run degraded instead.
+        let (Some(stdout), Some(stdin)) = (child.stdout.take(), child.stdin.take()) else {
+            eprintln!("# fleet: worker spawned without piped stdio; discarding it");
+            let _ = child.kill();
+            let _ = child.wait();
+            return None;
+        };
         let tx = tx.clone();
         std::thread::spawn(move || {
             use std::io::BufRead as _;
@@ -360,7 +375,14 @@ pub fn run_fleet(
                 not_before <= now && !states[ix].done && !states[ix].failed
             });
             let Some(pos) = ripe else { break };
-            let (shard_ix, _) = queue.remove(pos).expect("ripe entry");
+            // The idle snapshot can go stale if this worker was recycled
+            // earlier in the pass; skip it and re-deal next iteration.
+            let Some(w) = workers.get_mut(&uid) else {
+                continue;
+            };
+            let Some((shard_ix, _)) = queue.remove(pos) else {
+                break;
+            };
             let st = &mut states[shard_ix];
             // Only cells not yet durable — after a mid-shard death the
             // retry runs just the remainder.
@@ -381,7 +403,6 @@ pub fn run_fleet(
                 shard_index: st.shard.index,
                 cells: todo,
             };
-            let w = workers.get_mut(&uid).expect("idle worker");
             if w.stdin.write_all(msg.to_line().as_bytes()).is_err() {
                 // Pipe already broken — treat as a death; the reader
                 // thread's Gone event will requeue via the normal path.
@@ -559,7 +580,7 @@ pub fn run_fleet(
         let _ = w.stdin.flush();
     }
     let deadline = Instant::now() + Duration::from_secs(5);
-    for (_, mut w) in workers.drain() {
+    for (_, mut w) in std::mem::take(&mut workers) {
         loop {
             match w.child.try_wait() {
                 Ok(Some(_)) => break,

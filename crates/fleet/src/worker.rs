@@ -23,6 +23,10 @@
 //! marker file does not exist yet (it is created when firing), so a retry
 //! of the same shard succeeds — the bounded-retry path in one run.
 
+// Heartbeat timing needs wall clock and the reader uses detached threads;
+// allowlisted here and in simlint's path allowlist.
+#![allow(clippy::disallowed_methods)]
+
 use std::io::{BufRead as _, Write as _};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Mutex};
@@ -66,6 +70,7 @@ impl FaultPlan {
     pub fn from_env() -> Option<FaultPlan> {
         let spec = std::env::var("FLEET_FAIL_SHARD").ok()?;
         let plan = FaultPlan::parse(&spec)
+            // simlint: allow(panic-policy) -- test-only fault-injection hook; a typo'd directive must fail loud, not run the real workload
             .unwrap_or_else(|e| panic!("bad FLEET_FAIL_SHARD '{spec}': {e}"));
         Some(FaultPlan {
             once_marker: std::env::var("FLEET_FAIL_ONCE").ok(),
@@ -111,6 +116,7 @@ impl FaultPlan {
                 } else {
                     // Marker creation failing means the fault would fire on
                     // every retry; surface that loudly.
+                    // simlint: allow(panic-policy) -- test-only fault-injection marker; failing to persist it would loop the fault forever
                     std::fs::write(path, b"fired\n").expect("write FLEET_FAIL_ONCE marker");
                     true
                 }
@@ -120,6 +126,7 @@ impl FaultPlan {
 }
 
 fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+    // simlint: allow(panic-policy) -- lock poisoning means a writer thread already panicked; this worker is lost either way
     let mut out = out.lock().expect("worker stdout");
     // A dead orchestrator pipe is not an error worth a worker backtrace.
     let _ = out.write_all(msg.to_line().as_bytes());

@@ -2,6 +2,11 @@
 //! models against their paper targets (the tool used to calibrate
 //! `workloads::spec`). Scale via `COOP_SCALE` (default tiny; Table 3 is
 //! validated at `small`).
+
+// The CLI reports wall time per benchmark; allowlisted here and in
+// simlint's path allowlist.
+#![allow(clippy::disallowed_methods)]
+
 use coop_core::{LlcConfig, SchemeKind};
 use harness::system::{System, SystemConfig};
 use harness::SimScale;

@@ -36,6 +36,10 @@
 //! `--seed`) and reports distributional results; without `--workers` it
 //! runs in-process.
 
+// The CLI reports wall time per experiment; allowlisted here and in
+// simlint's path allowlist.
+#![allow(clippy::disallowed_methods)]
+
 use std::io::Write as _;
 
 use harness::experiments::fig11_13::ThresholdMetric;

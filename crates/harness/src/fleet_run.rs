@@ -11,7 +11,11 @@
 //! cycles is byte-for-byte the table of the unsharded run (pinned by the
 //! `fleet_determinism` proptest and the `fleet_e2e` smoke).
 
-use std::collections::HashMap;
+// The Monte Carlo sample loop reports wall time in its perf line;
+// allowlisted here and in simlint's path allowlist.
+#![allow(clippy::disallowed_methods)]
+
+use std::collections::BTreeMap;
 use std::sync::Mutex;
 
 use coop_core::MissCurve;
@@ -559,9 +563,9 @@ pub fn sample_outcomes(
 /// Runs every cell in-process (on the harness thread pool) and returns
 /// payloads by cell ID — the single-process twin of a fleet run, used by
 /// the Monte Carlo mode without `--workers` and by the determinism tests.
-pub fn compute_cells_inprocess(cells: &[CellSpec]) -> Result<HashMap<String, Value>, String> {
+pub fn compute_cells_inprocess(cells: &[CellSpec]) -> Result<BTreeMap<String, Value>, String> {
     use fleet::CellRunner as _;
-    let results: Mutex<HashMap<String, Value>> = Mutex::new(HashMap::new());
+    let results: Mutex<BTreeMap<String, Value>> = Mutex::new(BTreeMap::new());
     let errors: Mutex<Vec<String>> = Mutex::new(Vec::new());
     experiments::parallel_for_each(cells.to_vec(), |cell| {
         match HarnessCellRunner.run_cell(&cell) {

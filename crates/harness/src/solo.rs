@@ -8,7 +8,7 @@
 //! [`workloads::WorkloadFactory`] can be baselined — synthetic models and
 //! trace files go through the same path.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
 use coop_core::{LlcConfig, MissCurve, SchemeKind};
@@ -34,9 +34,9 @@ pub struct SoloResult {
 
 type Key = (String, u64, usize, &'static str);
 
-fn cache() -> &'static Mutex<HashMap<Key, Arc<SoloResult>>> {
-    static CACHE: OnceLock<Mutex<HashMap<Key, Arc<SoloResult>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+fn cache() -> &'static Mutex<BTreeMap<Key, Arc<SoloResult>>> {
+    static CACHE: OnceLock<Mutex<BTreeMap<Key, Arc<SoloResult>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(BTreeMap::new()))
 }
 
 /// The solo LLC configuration for an `n`-core system's baselines: the

@@ -8,7 +8,7 @@
 //! through real [`fleet::ResultsStore`] sessions and compares the merged
 //! render against the golden in-process render, byte for byte.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -46,7 +46,7 @@ struct Baseline {
     cells: Vec<CellSpec>,
     /// Rendered payload text per cell ID — what a worker would put on
     /// the wire.
-    payloads: HashMap<String, String>,
+    payloads: BTreeMap<String, String>,
     /// The single-process figure renders (all three metrics per case).
     golden: Vec<Vec<String>>,
 }
@@ -197,7 +197,7 @@ fn write_cell(
     store: &ResultsStore,
     cell: &CellSpec,
     shard_id: &str,
-    payloads: &HashMap<String, String>,
+    payloads: &BTreeMap<String, String>,
 ) {
     let text = payloads.get(&cell.id()).expect("payload computed");
     let payload = json::parse(text).expect("payload parses");

@@ -5,6 +5,7 @@
 //! and a full file back-pressures the requester.
 
 use std::cmp::Reverse;
+// simlint: allow(hash-collections) -- hot-path map with a fixed deterministic hasher; iterated only for count/min aggregations (see LineMap)
 use std::collections::{BinaryHeap, HashMap};
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -38,6 +39,7 @@ impl Hasher for LineHasher {
     }
 }
 
+// simlint: allow(hash-collections) -- LineHasher is fixed (no RandomState), and values() feeds only live() count and next_completion() min — both order-insensitive
 type LineMap = HashMap<u64, Cycle, BuildHasherDefault<LineHasher>>;
 
 /// Outcome of asking the MSHR file to track a miss.

@@ -1,0 +1,582 @@
+//! Per-file analysis: runs every rule over one lexed source file,
+//! applies inline suppressions, and reports unused suppressions.
+//!
+//! ## Rule families
+//!
+//! * **Determinism** — `hash-collections` (any `HashMap`/`HashSet`
+//!   mention: iteration order varies per process, so the types are banned
+//!   wholesale and provably order-insensitive uses carry an inline
+//!   `allow` with the proof in the reason), `wall-clock`
+//!   (`Instant::now` / `SystemTime::now`), `thread-spawn` (detached
+//!   threads; scoped `thread::scope` fork-join is fine and not matched).
+//! * **Layering** — `layering`: a first-party `lib_name::` path in a
+//!   crate whose [`crate::rules::CrateRule::deps`] row does not allow it.
+//!   (The `Cargo.toml` side of the same contract is checked in
+//!   [`crate::workspace`].)
+//! * **Panic policy** — `panic-policy`: `.unwrap(` / `.expect(` /
+//!   `panic!`-family macros on the fleet worker-protocol and orchestrator
+//!   paths, where corruption must recycle a worker, not kill the run.
+//!
+//! ## Suppressions
+//!
+//! `// simlint: allow(rule-a, rule-b) -- reason` suppresses those rules
+//! on the comment's own line and the line directly below it (so both
+//! trailing and line-above styles work). A missing `-- reason`, an
+//! unknown rule name, or a suppression that fires nothing is itself a
+//! diagnostic — suppressions must stay true. Only plain comments count;
+//! doc comments mentioning the syntax (like this one) are not directives.
+//!
+//! ## Test code
+//!
+//! Files under `tests/`, `benches/` or `examples/`, and `#[cfg(test)]
+//! mod` blocks inside `src/`, are exempt from `wall-clock`,
+//! `thread-spawn`, `filesystem` and `panic-policy` (harness timing and
+//! `expect` in assertions don't touch golden output). `hash-collections`
+//! and `layering` apply to test code too: hash iteration order can leak
+//! into golden assertions, and test imports are still imports.
+
+use crate::lexer::{self, Spanned, Tok};
+use crate::rules::{
+    crate_for_path, first_party_libs, CrateRule, FS_ALLOWED_PATHS, PANIC_POLICY_PATHS, RULE_NAMES,
+    THREAD_SPAWN_ALLOWED_PATHS, WALL_CLOCK_ALLOWED_PATHS,
+};
+
+/// One finding, with a stable `file:line` anchor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Repo-relative path (forward slashes).
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Rule name (one of [`RULE_NAMES`] or the meta rules
+    /// `bad-suppression` / `unused-suppression`).
+    pub rule: String,
+    /// Human explanation with the suggested fix.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `path:line: rule: message` — the human output line.
+    pub fn render(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.file, self.line, self.rule, self.message
+        )
+    }
+}
+
+/// A parsed `simlint: allow(...)` comment.
+#[derive(Debug)]
+struct Suppression {
+    line: u32,
+    rules: Vec<String>,
+    used: bool,
+}
+
+/// Lints one source file given its repo-relative path. The crate context
+/// comes from [`crate_for_path`]; files outside every known crate
+/// directory produce a `layering` diagnostic so the table cannot silently
+/// fall out of date.
+pub fn lint_source(rel_path: &str, source: &str) -> Vec<Diagnostic> {
+    let Some(krate) = crate_for_path(rel_path) else {
+        return vec![Diagnostic {
+            file: rel_path.to_string(),
+            line: 1,
+            rule: "layering".to_string(),
+            message: "file is outside every crate declared in simlint's layering table \
+                      (crates/simlint/src/rules.rs); add the crate to the table"
+                .to_string(),
+        }];
+    };
+    lint_source_in_crate(rel_path, source, krate)
+}
+
+fn lint_source_in_crate(rel_path: &str, source: &str, krate: &CrateRule) -> Vec<Diagnostic> {
+    let lexed = lexer::lex(source);
+    let test_mask = test_mask(&lexed.tokens, rel_path, krate);
+    let (mut suppressions, mut diags) = parse_suppressions(rel_path, &lexed.comments);
+
+    let push = |candidates: &mut Vec<Suppression>,
+                diags: &mut Vec<Diagnostic>,
+                line: u32,
+                rule: &str,
+                message: String| {
+        for s in candidates.iter_mut() {
+            if (s.line == line || s.line + 1 == line) && s.rules.iter().any(|r| r == rule) {
+                s.used = true;
+                return;
+            }
+        }
+        diags.push(Diagnostic {
+            file: rel_path.to_string(),
+            line,
+            rule: rule.to_string(),
+            message,
+        });
+    };
+
+    let toks = &lexed.tokens;
+    let in_test = |i: usize| test_mask[i];
+    let path_allowed = |list: &[&str]| list.iter().any(|p| rel_path.starts_with(p));
+    let libs = first_party_libs();
+    let panic_scope = path_allowed(PANIC_POLICY_PATHS);
+    let wall_clock_scope = !path_allowed(WALL_CLOCK_ALLOWED_PATHS);
+    let thread_scope = !path_allowed(THREAD_SPAWN_ALLOWED_PATHS);
+    let fs_scope = krate.sim && !path_allowed(FS_ALLOWED_PATHS);
+
+    for i in 0..toks.len() {
+        let line = toks[i].line;
+        match ident(toks, i) {
+            Some(name @ ("HashMap" | "HashSet")) => {
+                push(
+                    &mut suppressions,
+                    &mut diags,
+                    line,
+                    "hash-collections",
+                    format!(
+                        "{name} has per-process iteration order, which breaks bit-exact \
+                         goldens; use BTreeMap/BTreeSet or sorted iteration, or prove \
+                         order-insensitivity in a `simlint: allow` reason"
+                    ),
+                );
+            }
+            Some(recv @ ("Instant" | "SystemTime"))
+                if wall_clock_scope && !in_test(i) && follows_path_segment(toks, i, "now") =>
+            {
+                push(
+                    &mut suppressions,
+                    &mut diags,
+                    line,
+                    "wall-clock",
+                    format!(
+                        "{recv}::now() reads wall time, which differs across hosts and \
+                         runs; simulated time must come from simkit cycles (perf lines \
+                         live in the allowlisted harness paths)"
+                    ),
+                );
+            }
+            Some("thread")
+                if thread_scope && !in_test(i) && follows_path_segment(toks, i, "spawn") =>
+            {
+                push(
+                    &mut suppressions,
+                    &mut diags,
+                    line,
+                    "thread-spawn",
+                    "detached threads introduce scheduling nondeterminism; use \
+                     std::thread::scope fork-join, or move the work to the fleet \
+                     orchestration layer"
+                        .to_string(),
+                );
+            }
+            Some("std") if fs_scope && !in_test(i) && follows_path_segment(toks, i, "fs") => {
+                push(
+                    &mut suppressions,
+                    &mut diags,
+                    line,
+                    "filesystem",
+                    "simulation crates must not touch the filesystem (cpusim::trace is \
+                     the designated loader; all other I/O belongs to harness or the \
+                     fleet store)"
+                        .to_string(),
+                );
+            }
+            Some(mac @ ("panic" | "unreachable" | "todo" | "unimplemented"))
+                if panic_scope
+                    && !in_test(i)
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'!'))) =>
+            {
+                push(
+                    &mut suppressions,
+                    &mut diags,
+                    line,
+                    "panic-policy",
+                    format!(
+                        "{mac}! on the fleet worker/orchestrator path kills the whole \
+                         run; surface the error so the worker is recycled instead"
+                    ),
+                );
+            }
+            Some(call @ ("unwrap" | "expect"))
+                if panic_scope
+                    && !in_test(i)
+                    && i > 0
+                    && matches!(toks[i - 1].tok, Tok::Punct(b'.'))
+                    && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'('))) =>
+            {
+                push(
+                    &mut suppressions,
+                    &mut diags,
+                    line,
+                    "panic-policy",
+                    format!(
+                        ".{call}() on the fleet worker/orchestrator path kills the whole \
+                         run; handle the None/Err so the worker is recycled instead"
+                    ),
+                );
+            }
+            Some(lib)
+                if libs.contains(&lib)
+                    && lib != krate.lib
+                    && followed_by_path_sep(toks, i)
+                    && !segment_of_larger_path(toks, i) =>
+            {
+                let allowed = crate::rules::CRATES
+                    .iter()
+                    .find(|c| c.lib == lib)
+                    .is_some_and(|target| krate.deps.contains(&target.package));
+                if !allowed {
+                    push(
+                        &mut suppressions,
+                        &mut diags,
+                        line,
+                        "layering",
+                        format!(
+                            "crate '{}' references '{lib}::…' but the layering table \
+                             (crates/simlint/src/rules.rs) does not allow that \
+                             dependency",
+                            krate.package
+                        ),
+                    );
+                }
+            }
+            _ => {}
+        }
+    }
+
+    for s in &suppressions {
+        if !s.used {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: s.line,
+                rule: "unused-suppression".to_string(),
+                message: format!(
+                    "suppression for ({}) fired nothing on this or the next line; \
+                     delete it or move it next to the violation it excuses",
+                    s.rules.join(", ")
+                ),
+            });
+        }
+    }
+
+    diags.sort_by(|a, b| (a.line, &a.rule).cmp(&(b.line, &b.rule)));
+    diags
+}
+
+/// The identifier text of token `i`, if it is an identifier.
+fn ident(toks: &[Spanned], i: usize) -> Option<&str> {
+    match &toks[i].tok {
+        Tok::Ident(s) => Some(s.as_str()),
+        Tok::Punct(_) => None,
+    }
+}
+
+/// True when tokens `i+1..` are `:: segment` (e.g. `Instant :: now`).
+fn follows_path_segment(toks: &[Spanned], i: usize, segment: &str) -> bool {
+    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b':')))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(b':')))
+        && ident(toks, i + 3).is_some_and(|s| s == segment)
+}
+
+/// True when token `i` is followed by `::`.
+fn followed_by_path_sep(toks: &[Spanned], i: usize) -> bool {
+    matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b':')))
+        && matches!(toks.get(i + 2).map(|t| &t.tok), Some(Tok::Punct(b':')))
+}
+
+/// True when token `i` is itself preceded by `::` — a later segment of a
+/// longer path (`crate::fleet::x`), not a crate root reference.
+fn segment_of_larger_path(toks: &[Spanned], i: usize) -> bool {
+    i >= 2
+        && matches!(toks[i - 1].tok, Tok::Punct(b':'))
+        && matches!(toks[i - 2].tok, Tok::Punct(b':'))
+}
+
+/// Marks every token inside `#[cfg(test)] mod … { … }` blocks, plus all
+/// tokens of files that live under test-only directories.
+fn test_mask(toks: &[Spanned], rel_path: &str, krate: &CrateRule) -> Vec<bool> {
+    let crate_rel = if krate.dir == "." {
+        rel_path
+    } else {
+        rel_path.strip_prefix(krate.dir).unwrap_or(rel_path)
+    };
+    let crate_rel = crate_rel.trim_start_matches('/');
+    if ["tests/", "benches/", "examples/"]
+        .iter()
+        .any(|d| crate_rel.starts_with(d))
+    {
+        return vec![true; toks.len()];
+    }
+
+    let mut mask = vec![false; toks.len()];
+    let mut i = 0;
+    while i < toks.len() {
+        if is_cfg_test_attr(toks, i) {
+            // Skip this and any further attributes, then expect `mod x {`.
+            let mut j = i;
+            while is_attr_start(toks, j) {
+                j = skip_attr(toks, j);
+            }
+            if ident(toks, j) == Some("mod") {
+                // `mod name {` — find the opening brace.
+                let mut k = j + 1;
+                while k < toks.len() && !matches!(toks[k].tok, Tok::Punct(b'{' | b';')) {
+                    k += 1;
+                }
+                if k < toks.len() && matches!(toks[k].tok, Tok::Punct(b'{')) {
+                    let end = matching_brace(toks, k);
+                    for m in mask.iter_mut().take(end + 1).skip(i) {
+                        *m = true;
+                    }
+                    i = end + 1;
+                    continue;
+                }
+            }
+        }
+        i += 1;
+    }
+    mask
+}
+
+/// `# [ cfg ( test ) ]` at token `i`.
+fn is_cfg_test_attr(toks: &[Spanned], i: usize) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(b'#')))
+        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'[')))
+        && ident(toks, i + 2) == Some("cfg")
+        && matches!(toks.get(i + 3).map(|t| &t.tok), Some(Tok::Punct(b'(')))
+        && ident(toks, i + 4) == Some("test")
+        && matches!(toks.get(i + 5).map(|t| &t.tok), Some(Tok::Punct(b')')))
+        && matches!(toks.get(i + 6).map(|t| &t.tok), Some(Tok::Punct(b']')))
+}
+
+/// `# [` at token `i`.
+fn is_attr_start(toks: &[Spanned], i: usize) -> bool {
+    matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(b'#')))
+        && matches!(toks.get(i + 1).map(|t| &t.tok), Some(Tok::Punct(b'[')))
+}
+
+/// The token index just past an attribute starting at `i` (balanced `[]`).
+fn skip_attr(toks: &[Spanned], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i + 1;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct(b'[') => depth += 1,
+            Tok::Punct(b']') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    j
+}
+
+/// The index of the `}` matching the `{` at token `i` (or the last token
+/// when unbalanced).
+fn matching_brace(toks: &[Spanned], i: usize) -> usize {
+    let mut depth = 0usize;
+    let mut j = i;
+    while j < toks.len() {
+        match toks[j].tok {
+            Tok::Punct(b'{') => depth += 1,
+            Tok::Punct(b'}') => {
+                depth = depth.saturating_sub(1);
+                if depth == 0 {
+                    return j;
+                }
+            }
+            _ => {}
+        }
+        j += 1;
+    }
+    toks.len().saturating_sub(1)
+}
+
+/// Extracts `simlint: allow(...)` comments, validating syntax and rule
+/// names. Returns the valid suppressions plus diagnostics for bad ones.
+fn parse_suppressions(
+    rel_path: &str,
+    comments: &[lexer::Comment],
+) -> (Vec<Suppression>, Vec<Diagnostic>) {
+    let mut sup = Vec::new();
+    let mut diags = Vec::new();
+    for c in comments {
+        // Doc comments (`///`, `//!`, `/**`, `/*!`) describe the directive
+        // syntax without being directives; only plain comments suppress.
+        if ["///", "//!", "/**", "/*!"]
+            .iter()
+            .any(|p| c.text.starts_with(p))
+        {
+            continue;
+        }
+        let Some(at) = c.text.find("simlint:") else {
+            continue;
+        };
+        let directive = c.text[at + "simlint:".len()..].trim();
+        let mut bad = |message: String| {
+            diags.push(Diagnostic {
+                file: rel_path.to_string(),
+                line: c.line,
+                rule: "bad-suppression".to_string(),
+                message,
+            });
+        };
+        let Some(rest) = directive.strip_prefix("allow") else {
+            bad(format!(
+                "unrecognized simlint directive '{directive}'; expected \
+                 `simlint: allow(rule) -- reason`"
+            ));
+            continue;
+        };
+        let rest = rest.trim_start();
+        let Some(close) = rest.find(')') else {
+            bad("malformed suppression: missing ')' after allow(".to_string());
+            continue;
+        };
+        let names: Vec<String> = rest[..close]
+            .trim_start_matches('(')
+            .split(',')
+            .map(|s| s.trim().to_string())
+            .filter(|s| !s.is_empty())
+            .collect();
+        if names.is_empty() {
+            bad("empty allow() — name the rule being suppressed".to_string());
+            continue;
+        }
+        if let Some(unknown) = names.iter().find(|n| !RULE_NAMES.contains(&n.as_str())) {
+            bad(format!(
+                "unknown rule '{unknown}' (rules: {})",
+                RULE_NAMES.join(", ")
+            ));
+            continue;
+        }
+        let tail = rest[close + 1..].trim();
+        let reason = tail.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            bad(
+                "suppression has no reason; write `simlint: allow(rule) -- why it is safe`"
+                    .to_string(),
+            );
+            continue;
+        }
+        sup.push(Suppression {
+            line: c.line,
+            rules: names,
+            used: false,
+        });
+    }
+    (sup, diags)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rules_of(diags: &[Diagnostic]) -> Vec<&str> {
+        diags.iter().map(|d| d.rule.as_str()).collect()
+    }
+
+    #[test]
+    fn hash_collections_flagged_in_sim_and_non_sim_crates() {
+        for path in ["crates/memsim/src/x.rs", "crates/harness/src/x.rs"] {
+            let d = lint_source(path, "use std::collections::HashMap;\n");
+            assert_eq!(rules_of(&d), vec!["hash-collections"], "{path}");
+            assert_eq!(d[0].line, 1);
+        }
+    }
+
+    #[test]
+    fn wall_clock_allowlisted_by_path() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/cpusim/src/x.rs", src)),
+            vec!["wall-clock"]
+        );
+        assert!(lint_source("crates/harness/src/experiments/x.rs", src).is_empty());
+        assert!(lint_source("crates/fleet/src/orchestrator.rs", src).is_empty());
+    }
+
+    #[test]
+    fn suppression_covers_own_and_next_line_and_must_be_used() {
+        let ok = "// simlint: allow(hash-collections) -- keyed lookups only, never iterated\n\
+                  use std::collections::HashMap;\n";
+        assert!(lint_source("crates/memsim/src/x.rs", ok).is_empty());
+
+        let unused = "// simlint: allow(hash-collections) -- stale\nfn f() {}\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/memsim/src/x.rs", unused)),
+            vec!["unused-suppression"]
+        );
+
+        let no_reason = "use std::collections::HashMap; // simlint: allow(hash-collections)\n";
+        let d = lint_source("crates/memsim/src/x.rs", no_reason);
+        assert_eq!(rules_of(&d), vec!["bad-suppression", "hash-collections"]);
+    }
+
+    #[test]
+    fn layering_checks_use_paths_against_the_table() {
+        let d = lint_source("crates/memsim/src/x.rs", "use coop_core::policy::Policy;\n");
+        assert_eq!(rules_of(&d), vec!["layering"]);
+        // Declared deps pass; self-references pass; crate:: paths pass.
+        assert!(lint_source("crates/memsim/src/x.rs", "use simkit::Counter;\n").is_empty());
+        assert!(lint_source(
+            "crates/harness/src/x.rs",
+            "use fleet::serve;\nuse crate::solo;\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn panic_policy_only_on_fleet_protocol_paths() {
+        let src = "fn f() { x.unwrap(); y.expect(\"boom\"); panic!(\"no\"); }\n";
+        let d = lint_source("crates/fleet/src/worker.rs", src);
+        assert_eq!(
+            rules_of(&d),
+            vec!["panic-policy", "panic-policy", "panic-policy"]
+        );
+        assert!(lint_source("crates/fleet/src/store.rs", src).is_empty());
+        // unwrap_or_else is handling, not panicking.
+        assert!(lint_source(
+            "crates/fleet/src/worker.rs",
+            "fn f() { x.unwrap_or_else(|| 3); }\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn cfg_test_mod_is_exempt_from_panic_and_fs_but_not_hash() {
+        let src = "fn real() {}\n\
+                   #[cfg(test)]\n\
+                   mod tests {\n\
+                       use std::collections::HashSet;\n\
+                       #[test]\n\
+                       fn t() { std::fs::read(\"x\").unwrap(); }\n\
+                   }\n";
+        let d = lint_source("crates/workloads/src/x.rs", src);
+        assert_eq!(rules_of(&d), vec!["hash-collections"]);
+        assert_eq!(d[0].line, 4);
+    }
+
+    #[test]
+    fn fs_banned_in_sim_crates_except_trace_loader() {
+        let src = "fn f() { let _ = std::fs::read(\"x\"); }\n";
+        assert_eq!(
+            rules_of(&lint_source("crates/workloads/src/x.rs", src)),
+            vec!["filesystem"]
+        );
+        assert!(lint_source("crates/cpusim/src/trace.rs", src).is_empty());
+        // Non-sim crates own their I/O.
+        assert!(lint_source("crates/fleet/src/store.rs", src).is_empty());
+    }
+
+    #[test]
+    fn test_directories_are_exempt_from_wall_clock_but_not_layering() {
+        let src = "use coop_core::x;\nfn f() { let _ = std::time::Instant::now(); }\n";
+        let d = lint_source("crates/memsim/tests/t.rs", src);
+        assert_eq!(rules_of(&d), vec!["layering"]);
+    }
+}

@@ -1,0 +1,413 @@
+//! A minimal Rust lexer: just enough to tell code from comments and
+//! string literals, with exact line tracking.
+//!
+//! The analyzer only needs identifier/punctuation tokens (to match symbol
+//! patterns like `Instant :: now` and `use coop_core ::`) and the comment
+//! text (to read `simlint: allow(...)` suppressions). Everything else —
+//! numbers, operators it does not care about — is folded into punctuation
+//! or skipped. The lexer is deliberately permissive: malformed input
+//! (unterminated strings, stray bytes, lone backslashes) never panics and
+//! never desynchronizes the line counter, which the `lexer_props` proptest
+//! pins on arbitrary byte soup.
+//!
+//! Handled literal forms, all of which may contain `//`, `/*` or newlines
+//! that must *not* be read as comments or skipped lines:
+//!
+//! * line comments `//…` and nested block comments `/* /* … */ */`;
+//! * string literals `"…"` with `\"` escapes, byte strings `b"…"`;
+//! * raw strings `r"…"`, `r#"…"#` (any hash depth), `br#"…"#`;
+//! * char/byte-char literals `'x'`, `'\n'`, `b'x'` — distinguished from
+//!   lifetimes (`'a`) by lookahead, so `&'static str` lexes as a lifetime
+//!   and not as an unterminated char literal swallowing the file.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Tok {
+    /// An identifier or keyword (`HashMap`, `use`, `mod`, …).
+    Ident(String),
+    /// A single punctuation byte (`:`, `{`, `(`, `!`, `.`, …).
+    Punct(u8),
+}
+
+/// A token with the 1-based line it starts on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Spanned {
+    /// 1-based source line.
+    pub line: u32,
+    /// The token.
+    pub tok: Tok,
+}
+
+/// A comment with the 1-based line it *starts* on. Block comments keep
+/// their full text; the suppression scanner searches inside.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// 1-based line of the comment opener.
+    pub line: u32,
+    /// Raw comment text including the `//` / `/*` marker.
+    pub text: String,
+}
+
+/// Lexer output: tokens, comments, and the final line count.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Identifier/punctuation stream in source order.
+    pub tokens: Vec<Spanned>,
+    /// All comments in source order.
+    pub comments: Vec<Comment>,
+    /// 1-based line number after consuming the whole input
+    /// (`== 1 + count of '\n' bytes` — the line-sync invariant).
+    pub final_line: u32,
+}
+
+/// Lexes `source`. Never panics; see the module docs for the contract.
+pub fn lex(source: &str) -> Lexed {
+    Lexer {
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Lexed::default(),
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Lexed,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek() {
+            match b {
+                b'\n' => {
+                    self.line += 1;
+                    self.pos += 1;
+                }
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string(),
+                b'\'' => self.char_or_lifetime(),
+                b'b' | b'r' if self.literal_prefix() => {} // consumed inside
+                _ if is_ident_start(b) => self.ident(),
+                _ if b.is_ascii_digit() => self.number(),
+                _ if b.is_ascii_whitespace() => self.pos += 1,
+                _ => {
+                    self.push_tok(Tok::Punct(b));
+                    self.pos += 1;
+                }
+            }
+        }
+        self.out.final_line = self.line;
+        self.out
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.bytes.get(self.pos + off).copied()
+    }
+
+    fn push_tok(&mut self, tok: Tok) {
+        self.out.tokens.push(Spanned {
+            line: self.line,
+            tok,
+        });
+    }
+
+    /// Consumes one byte, counting newlines.
+    fn bump(&mut self) {
+        if self.peek() == Some(b'\n') {
+            self.line += 1;
+        }
+        self.pos += 1;
+    }
+
+    fn line_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.pos += 1;
+        }
+        self.out.comments.push(Comment {
+            line,
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+        });
+    }
+
+    fn block_comment(&mut self) {
+        let start = self.pos;
+        let line = self.line;
+        self.pos += 2; // "/*"
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (None, _) => break, // unterminated: swallow to EOF
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.pos += 2;
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.pos += 2;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.out.comments.push(Comment {
+            line,
+            text: String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned(),
+        });
+    }
+
+    /// `b"…"`, `br#"…"#`, `r"…"`, `r#"…"#` — returns true (and consumes)
+    /// when the bytes at the cursor start a prefixed literal; plain
+    /// identifiers starting with `b`/`r` return false and lex as idents.
+    fn literal_prefix(&mut self) -> bool {
+        let mut off = 1; // past the b/r
+        if self.peek() == Some(b'b') && self.peek_at(1) == Some(b'r') {
+            off = 2;
+        }
+        let raw = self.peek_at(off - 1) == Some(b'r') && (off == 2 || self.peek() == Some(b'r'));
+        if raw {
+            // r / br followed by zero-or-more '#' then '"'.
+            let mut hashes = 0usize;
+            while self.peek_at(off + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek_at(off + hashes) == Some(b'"') {
+                self.pos += off + hashes + 1;
+                self.raw_string_tail(hashes);
+                return true;
+            }
+            return false;
+        }
+        // b"…" or b'…'
+        if self.peek() == Some(b'b') {
+            match self.peek_at(1) {
+                Some(b'"') => {
+                    self.pos += 1;
+                    self.string();
+                    return true;
+                }
+                Some(b'\'') => {
+                    self.pos += 1;
+                    self.char_or_lifetime();
+                    return true;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    /// After the opening quote of a raw string with `hashes` hashes:
+    /// consume until `"` followed by that many `#`.
+    fn raw_string_tail(&mut self, hashes: usize) {
+        while let Some(b) = self.peek() {
+            if b == b'"' {
+                let mut ok = true;
+                for i in 0..hashes {
+                    if self.peek_at(1 + i) != Some(b'#') {
+                        ok = false;
+                        break;
+                    }
+                }
+                if ok {
+                    self.pos += 1 + hashes;
+                    return;
+                }
+            }
+            self.bump();
+        }
+    }
+
+    /// A `"…"` string starting at the opening quote.
+    fn string(&mut self) {
+        self.pos += 1; // opening quote
+        while let Some(b) = self.peek() {
+            match b {
+                b'"' => {
+                    self.pos += 1;
+                    return;
+                }
+                b'\\' => {
+                    self.bump();
+                    if self.peek().is_some() {
+                        self.bump();
+                    }
+                }
+                _ => self.bump(),
+            }
+        }
+    }
+
+    /// A `'` that is either a char literal or a lifetime.
+    fn char_or_lifetime(&mut self) {
+        // Lifetime: 'ident not followed by a closing quote ('a, 'static).
+        if let Some(b1) = self.peek_at(1) {
+            if is_ident_start(b1) && b1 != b'\\' {
+                // Find the end of the ident run; a trailing ' means char
+                // literal ('x', 'q'), otherwise it is a lifetime.
+                let mut off = 2;
+                while self.peek_at(off).is_some_and(is_ident_continue) {
+                    off += 1;
+                }
+                if self.peek_at(off) != Some(b'\'') {
+                    self.pos += off; // lifetime: skip 'ident
+                    return;
+                }
+            }
+        }
+        // Char literal: '…' with escapes; permissive on malformed input.
+        self.pos += 1; // opening '
+        match self.peek() {
+            Some(b'\\') => {
+                self.bump();
+                if self.peek().is_some() {
+                    self.bump();
+                }
+                // Multi-byte escapes (\u{…}) — consume to the closing quote.
+                while let Some(b) = self.peek() {
+                    if b == b'\'' {
+                        break;
+                    }
+                    self.bump();
+                }
+            }
+            Some(b'\'') | None => {} // '' or EOF: fall through
+            Some(_) => self.bump(),
+        }
+        if self.peek() == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_continue) {
+            self.pos += 1;
+        }
+        let text = String::from_utf8_lossy(&self.bytes[start..self.pos]).into_owned();
+        self.push_tok(Tok::Ident(text));
+    }
+
+    /// Number literals are skipped (no rule reads them), but their suffix
+    /// letters must not leak out as identifiers (`0x1f`, `1_000u64`, `1e9`).
+    fn number(&mut self) {
+        while self
+            .peek()
+            .is_some_and(|b| b.is_ascii_alphanumeric() || b == b'_' || b == b'.')
+        {
+            // `1..10` — leave range dots to the punctuation path.
+            if self.peek() == Some(b'.') && self.peek_at(1) == Some(b'.') {
+                break;
+            }
+            self.pos += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(l: &Lexed) -> Vec<&str> {
+        l.tokens
+            .iter()
+            .filter_map(|s| match &s.tok {
+                Tok::Ident(i) => Some(i.as_str()),
+                Tok::Punct(_) => None,
+            })
+            .collect()
+    }
+
+    #[test]
+    fn comments_and_strings_hide_symbols() {
+        let src = r##"
+// HashMap in a comment
+/* Instant::now() in a block /* nested */ still a comment */
+let x = "HashMap::new()";
+let y = r#"thread::spawn"#;
+let z = 'x';
+let lt: &'static str = "s";
+real_ident();
+"##;
+        let l = lex(src);
+        assert_eq!(
+            idents(&l),
+            vec![
+                "let",
+                "x",
+                "let",
+                "y",
+                "let",
+                "z",
+                "let",
+                "lt",
+                "str",
+                "real_ident"
+            ]
+        );
+        assert_eq!(l.comments.len(), 2);
+        assert_eq!(l.final_line, 1 + src.matches('\n').count() as u32);
+    }
+
+    #[test]
+    fn multiline_literals_keep_line_sync() {
+        let src = "let a = \"two\nlines\";\nlet b = r#\"three\nmore\nlines\"#;\nmarker();\n";
+        let l = lex(src);
+        let marker = l
+            .tokens
+            .iter()
+            .find(|s| s.tok == Tok::Ident("marker".to_string()))
+            .expect("marker token");
+        assert_eq!(marker.line, 6);
+        assert_eq!(l.final_line, 1 + src.matches('\n').count() as u32);
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let src = "fn f<'a>(x: &'a str) -> &'static str { x }\ntail();";
+        let l = lex(src);
+        assert!(idents(&l).contains(&"tail"));
+        assert_eq!(l.final_line, 2);
+    }
+
+    #[test]
+    fn byte_and_raw_prefixes() {
+        let src = "let a = b\"bytes\"; let c = b'x'; let d = br#\"raw\"#; let r = rest;";
+        let l = lex(src);
+        assert_eq!(
+            idents(&l),
+            vec!["let", "a", "let", "c", "let", "d", "let", "r", "rest"]
+        );
+    }
+
+    #[test]
+    fn unterminated_forms_never_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"", "'\\", "ident'"] {
+            let l = lex(src);
+            assert_eq!(
+                l.final_line,
+                1 + src.matches('\n').count() as u32,
+                "{src:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! simlint — the workspace's determinism, layering and panic-policy lint.
+//!
+//! A hand-rolled static-analysis pass (lexer + path matcher + `Cargo.toml`
+//! reader; no external parser crates — the workspace builds offline) that
+//! walks every first-party crate and enforces three rule families with
+//! `file:line` diagnostics and a nonzero exit:
+//!
+//! 1. **Determinism** — no `HashMap`/`HashSet`, no wall-clock reads, no
+//!    detached threads in simulation code ([`analyze`] module docs have
+//!    the exact scoping).
+//! 2. **Layering** — the crate dependency DAG is declared once, in
+//!    [`rules::CRATES`], and checked against both `Cargo.toml`
+//!    dependencies and `use`/path references in code.
+//! 3. **Panic policy** — no `unwrap`/`expect`/`panic!` on the fleet
+//!    worker-protocol and orchestrator paths.
+//!
+//! Run it as `cargo run -p simlint` (add `--json` for machine output).
+//! Violations with a proof of safety carry an inline
+//! `// simlint: allow(rule) -- reason`; a suppression that fires nothing
+//! is itself a diagnostic. simlint lints itself like any other crate.
+
+pub mod analyze;
+pub mod lexer;
+pub mod manifest;
+pub mod rules;
+pub mod workspace;
+
+pub use analyze::{lint_source, Diagnostic};
+pub use workspace::{run_workspace, Report};

@@ -1,0 +1,131 @@
+//! `simlint` CLI.
+//!
+//! ```text
+//! cargo run -p simlint             # human-readable, exit 1 on findings
+//! cargo run -p simlint -- --json   # one JSON object per finding
+//! cargo run -p simlint -- --root DIR
+//! ```
+//!
+//! Without `--root`, walks up from the current directory to the first
+//! `Cargo.toml` containing `[workspace]`. Exit codes: 0 clean, 1 findings,
+//! 2 usage/IO error.
+
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use simlint::workspace::run_workspace;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("usage: simlint [--json] [--root DIR]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+
+    let root = match root.or_else(find_workspace_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("simlint: no workspace Cargo.toml found above the current directory");
+            return ExitCode::from(2);
+        }
+    };
+
+    let report = match run_workspace(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("simlint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        for d in &report.diagnostics {
+            println!(
+                "{{\"file\":{},\"line\":{},\"rule\":{},\"message\":{}}}",
+                json_str(&d.file),
+                d.line,
+                json_str(&d.rule),
+                json_str(&d.message)
+            );
+        }
+    } else {
+        for d in &report.diagnostics {
+            println!("{}", d.render());
+        }
+        if report.diagnostics.is_empty() {
+            println!(
+                "simlint: clean ({} files, {} crates)",
+                report.files_scanned, report.crates_scanned
+            );
+        } else {
+            println!(
+                "simlint: {} diagnostic(s) across {} files, {} crates",
+                report.diagnostics.len(),
+                report.files_scanned,
+                report.crates_scanned
+            );
+        }
+    }
+
+    if report.diagnostics.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("simlint: {msg}\nusage: simlint [--json] [--root DIR]");
+    ExitCode::from(2)
+}
+
+/// Walks up from the current directory to the first `Cargo.toml` that
+/// declares a `[workspace]`.
+fn find_workspace_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if is_workspace_root(&dir) {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|t| t.contains("[workspace]"))
+        .unwrap_or(false)
+}
+
+/// Minimal JSON string escaping (quotes, backslashes, control bytes).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}

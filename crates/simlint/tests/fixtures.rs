@@ -1,0 +1,63 @@
+//! Fixture-driven rule tests: every file in `tests/fixtures/` is a tiny
+//! source file whose first line names the repo-relative path to lint it
+//! *as* (`// simlint-fixture: crates/memsim/src/fixture.rs`), with each
+//! expected diagnostic marked inline as `//~ ERROR <rule>` on the
+//! offending line. The test asserts the exact (line, rule) set — missing
+//! and unexpected diagnostics both fail, so rules cannot silently widen
+//! or rot. (The workspace walk skips `fixtures` directories, so these
+//! intentionally-violating files never fire on the real lint run.)
+
+use std::fs;
+use std::path::Path;
+
+use simlint::lint_source;
+
+#[test]
+fn fixtures_match_expected_diagnostics() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures");
+    let mut fixtures: Vec<_> = fs::read_dir(&dir)
+        .expect("tests/fixtures dir")
+        .flatten()
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|e| e == "rs"))
+        .collect();
+    fixtures.sort();
+    assert!(
+        !fixtures.is_empty(),
+        "no fixtures found in {}",
+        dir.display()
+    );
+
+    for path in fixtures {
+        let source = fs::read_to_string(&path).expect("read fixture");
+        let first = source.lines().next().unwrap_or("");
+        let Some(virtual_path) = first.strip_prefix("// simlint-fixture:").map(str::trim) else {
+            panic!(
+                "{}: first line must be `// simlint-fixture: <repo-relative path>`",
+                path.display()
+            );
+        };
+
+        let mut expected: Vec<(u32, String)> = source
+            .lines()
+            .enumerate()
+            .filter_map(|(ix, line)| {
+                line.split("//~ ERROR")
+                    .nth(1)
+                    .map(|rule| (ix as u32 + 1, rule.trim().to_string()))
+            })
+            .collect();
+        let mut got: Vec<(u32, String)> = lint_source(virtual_path, &source)
+            .into_iter()
+            .map(|d| (d.line, d.rule))
+            .collect();
+        expected.sort();
+        got.sort();
+        assert_eq!(
+            got,
+            expected,
+            "fixture {} (as {virtual_path}) diagnostics mismatch",
+            path.display()
+        );
+    }
+}

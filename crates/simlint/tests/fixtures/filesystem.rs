@@ -1,0 +1,20 @@
+// simlint-fixture: crates/workloads/src/fixture.rs
+// Simulation crates stay off the filesystem.
+fn bad() {
+    let _ = std::fs::read("model.toml"); //~ ERROR filesystem
+}
+
+use std::fs::File; //~ ERROR filesystem
+
+// std::path is pure string manipulation, not I/O.
+fn fine(p: &std::path::Path) -> bool {
+    p.is_absolute()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_write_temp_files() {
+        let _ = std::fs::write("/tmp/x", b"y");
+    }
+}

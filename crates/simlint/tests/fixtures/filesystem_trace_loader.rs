@@ -1,0 +1,5 @@
+// simlint-fixture: crates/cpusim/src/trace.rs
+// cpusim::trace is the designated trace-file loader.
+pub fn load(path: &str) -> std::io::Result<Vec<u8>> {
+    std::fs::read(path)
+}

@@ -1,0 +1,13 @@
+// simlint-fixture: crates/memsim/src/fixture.rs
+// Hash collections are flagged anywhere, suppressible only with a reason.
+use std::collections::HashMap; //~ ERROR hash-collections
+use std::collections::HashSet; //~ ERROR hash-collections
+
+// simlint: allow(hash-collections) -- fixture: proven order-insensitive
+use std::collections::HashMap as Allowed;
+
+fn strings_do_not_count() -> &'static str {
+    "HashMap in a string is fine"
+}
+
+/* HashMap in a comment is fine too */

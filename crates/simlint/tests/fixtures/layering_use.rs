@@ -1,0 +1,10 @@
+// simlint-fixture: crates/memsim/src/fixture.rs
+// memsim may see simkit, never the policy layer above it.
+use coop_core::policy::Policy; //~ ERROR layering
+use simkit::Counter;
+
+fn path_reference() {
+    let _ = coop_dvfs::min_energy(); //~ ERROR layering
+    let _ = simkit::types::Cycle::default();
+    let _ = crate::internal::thing();
+}

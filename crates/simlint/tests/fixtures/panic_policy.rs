@@ -1,0 +1,23 @@
+// simlint-fixture: crates/fleet/src/protocol.rs
+// No panicking on the worker-protocol path: a panic kills the run.
+fn bad(x: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = x.unwrap(); //~ ERROR panic-policy
+    let b = r.expect("boom"); //~ ERROR panic-policy
+    if a + b == 0 {
+        panic!("zero"); //~ ERROR panic-policy
+    }
+    unreachable!() //~ ERROR panic-policy
+}
+
+fn fine(x: Option<u32>) -> u32 {
+    x.unwrap_or_default()
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn assertions_in_tests_may_unwrap() {
+        let v: Result<u32, String> = Ok(3);
+        assert_eq!(v.unwrap(), 3);
+    }
+}

@@ -1,0 +1,16 @@
+// simlint-fixture: crates/memsim/src/fixture.rs
+// Suppression hygiene: reasons are mandatory, dead suppressions are errors.
+
+// simlint: allow(hash-collections) -- fixture: covers the next line
+use std::collections::HashMap;
+
+use std::collections::HashSet; // simlint: allow(hash-collections) -- fixture: trailing style
+
+// simlint: allow(wall-clock) -- fixture: fires nothing //~ ERROR unused-suppression
+fn nothing_here() {}
+
+// simlint: allow(hash-collections) //~ ERROR bad-suppression
+fn missing_reason() {}
+
+// simlint: allow(hash-maps) -- no such rule //~ ERROR bad-suppression
+fn unknown_rule() {}

@@ -1,0 +1,11 @@
+// simlint-fixture: crates/workloads/src/fixture.rs
+// Detached threads are banned; scoped fork-join is fine.
+fn bad() {
+    std::thread::spawn(|| {}); //~ ERROR thread-spawn
+}
+
+fn fine() {
+    std::thread::scope(|s| {
+        s.spawn(|| {});
+    });
+}

@@ -1,0 +1,19 @@
+// simlint-fixture: crates/cpusim/src/fixture.rs
+// Wall-clock reads are banned in simulation code.
+fn bad() {
+    let _t = std::time::Instant::now(); //~ ERROR wall-clock
+    let _s = std::time::SystemTime::now(); //~ ERROR wall-clock
+}
+
+// Storing a caller-provided Instant is not a clock read.
+fn fine(since: std::time::Instant) -> std::time::Instant {
+    since
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _t = std::time::Instant::now();
+    }
+}

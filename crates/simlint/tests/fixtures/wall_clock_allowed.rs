@@ -1,0 +1,6 @@
+// simlint-fixture: crates/harness/src/experiments/fixture.rs
+// The harness perf lines are on the wall-clock path allowlist.
+fn perf_line() {
+    let t0 = std::time::Instant::now();
+    let _ = t0.elapsed();
+}

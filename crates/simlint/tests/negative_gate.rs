@@ -1,0 +1,115 @@
+//! End-to-end CLI gate tests against a scratch mini-workspace: a seeded
+//! determinism violation must make the binary exit nonzero and name the
+//! right rule, and removing the violation must bring it back to a clean
+//! zero exit. This is the same contract the CI negative step asserts
+//! against the real tree.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("simlint-gate-{}-{tag}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(dir.join("crates/memsim/src")).expect("mkdir scratch workspace");
+    fs::create_dir_all(dir.join("src")).expect("mkdir scratch root src");
+    dir
+}
+
+/// A minimal two-crate workspace the walker accepts: the root package and
+/// one sim crate, both with names from the layering table.
+fn write_workspace(dir: &Path, memsim_lib: &str) {
+    fs::write(
+        dir.join("Cargo.toml"),
+        "[workspace]\nmembers = [\"crates/memsim\"]\n\n[package]\nname = \"coop-partitioning\"\n",
+    )
+    .expect("write root manifest");
+    fs::write(dir.join("src/lib.rs"), "pub fn root() {}\n").expect("write root lib");
+    fs::write(
+        dir.join("crates/memsim/Cargo.toml"),
+        "[package]\nname = \"memsim\"\n\n[dependencies]\nsimkit = { workspace = true }\n",
+    )
+    .expect("write memsim manifest");
+    fs::write(dir.join("crates/memsim/src/lib.rs"), memsim_lib).expect("write memsim lib");
+}
+
+fn run_simlint(root: &Path, extra: &[&str]) -> (i32, String, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_simlint"))
+        .arg("--root")
+        .arg(root)
+        .args(extra)
+        .output()
+        .expect("run simlint binary");
+    (
+        out.status.code().unwrap_or(-1),
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+    )
+}
+
+#[test]
+fn seeded_violation_fails_and_clean_tree_passes() {
+    let dir = scratch_dir("seeded");
+    write_workspace(
+        &dir,
+        "pub fn probe() -> std::time::Instant { std::time::Instant::now() }\n",
+    );
+
+    let (code, stdout, stderr) = run_simlint(&dir, &[]);
+    assert_eq!(
+        code, 1,
+        "seeded violation must exit 1\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(
+        stdout.contains("crates/memsim/src/lib.rs:1: wall-clock"),
+        "diagnostic must carry file:line and rule, got:\n{stdout}"
+    );
+
+    // Same workspace, violation removed: clean.
+    write_workspace(&dir, "pub fn probe() {}\n");
+    let (code, stdout, _) = run_simlint(&dir, &[]);
+    assert_eq!(code, 0, "clean tree must exit 0, got:\n{stdout}");
+    assert!(stdout.contains("simlint: clean"), "got:\n{stdout}");
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn json_output_is_one_object_per_finding() {
+    let dir = scratch_dir("json");
+    write_workspace(&dir, "use std::collections::HashMap;\n");
+
+    let (code, stdout, _) = run_simlint(&dir, &["--json"]);
+    assert_eq!(code, 1);
+    let lines: Vec<&str> = stdout.lines().collect();
+    assert_eq!(lines.len(), 1, "one finding → one line, got:\n{stdout}");
+    assert!(
+        lines[0].starts_with('{')
+            && lines[0].contains("\"rule\":\"hash-collections\"")
+            && lines[0].contains("\"line\":1"),
+        "got: {stdout}"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn layering_violation_in_manifest_is_caught() {
+    let dir = scratch_dir("layering");
+    write_workspace(&dir, "pub fn probe() {}\n");
+    // memsim declaring a dependency on the policy layer breaks the DAG.
+    fs::write(
+        dir.join("crates/memsim/Cargo.toml"),
+        "[package]\nname = \"memsim\"\n\n[dependencies]\ncoop-core = { workspace = true }\n",
+    )
+    .expect("rewrite memsim manifest");
+
+    let (code, stdout, _) = run_simlint(&dir, &[]);
+    assert_eq!(code, 1, "got:\n{stdout}");
+    assert!(
+        stdout.contains("crates/memsim/Cargo.toml:5: layering"),
+        "got:\n{stdout}"
+    );
+
+    let _ = fs::remove_dir_all(&dir);
+}

@@ -188,7 +188,7 @@ impl InstrSource for SyntheticSource {
 mod tests {
     use super::*;
     use crate::model::{Component, Phase};
-    use std::collections::HashSet;
+    use std::collections::BTreeSet;
 
     fn model() -> BenchmarkModel {
         BenchmarkModel {
@@ -269,7 +269,7 @@ mod tests {
         m.store_frac = 0.0;
         m.branch_frac = 0.0;
         let mut s = SyntheticSource::new(m, 4);
-        let mut lines = HashSet::new();
+        let mut lines = BTreeSet::new();
         for _ in 0..1000 {
             lines.insert(s.next_instr().addr / 64);
         }
@@ -289,7 +289,7 @@ mod tests {
         m.store_frac = 0.0;
         m.branch_frac = 0.0;
         let mut s = SyntheticSource::new(m, 5);
-        let mut lines = HashSet::new();
+        let mut lines = BTreeSet::new();
         for _ in 0..100 {
             lines.insert(s.next_instr().addr / 64);
         }

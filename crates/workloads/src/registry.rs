@@ -363,8 +363,8 @@ impl WorkloadRegistry {
     /// several cores) share one factory — and thus one parsed record
     /// sequence — instead of re-loading per core.
     pub fn resolve(&self, spec: &str) -> Result<ResolvedWorkload, WorkloadError> {
-        let mut loaded: std::collections::HashMap<String, Arc<dyn WorkloadFactory>> =
-            std::collections::HashMap::new();
+        let mut loaded: std::collections::BTreeMap<String, Arc<dyn WorkloadFactory>> =
+            std::collections::BTreeMap::new();
         let mut member = |name: &str| -> Result<Arc<dyn WorkloadFactory>, WorkloadError> {
             if let Some(hit) = loaded.get(name) {
                 return Ok(Arc::clone(hit));

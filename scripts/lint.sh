@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# One-shot local lint pass — the same static checks CI runs, in the same
+# order, so a clean `./scripts/lint.sh` means the lint stages of CI will
+# pass:
+#
+#   1. cargo fmt --check          formatting
+#   2. cargo clippy -D warnings   compiler lints + clippy.toml disallowed
+#                                 methods (wall clock, detached threads)
+#   3. cargo run -p simlint       determinism / layering / panic-policy
+#                                 rules (crates/simlint)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check"
+cargo fmt --check
+
+echo "== cargo clippy --workspace --all-targets -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "== cargo run -p simlint"
+cargo run -q -p simlint
+
+echo "lint: all clean"

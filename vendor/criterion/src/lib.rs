@@ -10,6 +10,9 @@
 //! `cargo test --benches` stays cheap. See `vendor/README.md` for the swap
 //! procedure.
 
+// A benchmark harness exists to read the wall clock.
+#![allow(clippy::disallowed_methods)]
+
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
