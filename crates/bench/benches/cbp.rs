@@ -1,0 +1,73 @@
+//! Criterion kernels for the coordinated CBP (ways × bandwidth × prefetch)
+//! subsystem.
+//!
+//! Run with `cargo bench -p bench --bench cbp`. Like the DVFS minimizer,
+//! the CBP joint DP runs once per epoch per system; its extra resource
+//! axes (8 bandwidth units × 5 prefetch degrees vs 5 V/f points) must not
+//! blow its cost past the same negligible-against-an-epoch budget — the
+//! kernel below keeps it within an order of magnitude of
+//! `dvfs_minimize_4core_16way_5freq`.
+
+use coop_cbp::{minimize, CbpModelParams, CoreCbpModel};
+use coop_dvfs::{CorePerfModel, EnergyCosts, EpochObservation, PerfModelParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+/// Fitted CBP models for a 4-core, 16-way system with heterogeneous miss
+/// curves and prefetch accuracies (one covered streamer, one cache-hungry
+/// low-accuracy core, two in between).
+fn four_core_models() -> Vec<CoreCbpModel> {
+    let params = PerfModelParams::paper_default();
+    let p = CbpModelParams::paper_default();
+    (0..4)
+        .map(|i| {
+            let values: Vec<f64> = (0..=16)
+                .map(|w| 50_000.0 / (1.0 + w as f64 * (0.2 + i as f64)))
+                .collect();
+            let accesses = values[0] * 2.0;
+            let curve = coop_core::MissCurve::new(values, accesses);
+            let obs = EpochObservation {
+                instrs: 400_000,
+                ref_cycles: 1_000_000,
+                misses: 20_000 / (i as u64 + 1),
+                cur_ways: 4,
+                cur_ratio: 1.0,
+            };
+            CoreCbpModel {
+                perf: CorePerfModel::fit(&curve, &obs, &params, 16),
+                accuracy: 0.9 - 0.2 * i as f64,
+                lines_per_miss: 1.0 + 0.1 * i as f64,
+                observed_lines_per_ns: 0.05 * (i + 1) as f64 * p.peak_lines_per_ns,
+            }
+        })
+        .collect()
+}
+
+fn bench_cbp(c: &mut Criterion) {
+    let costs = EnergyCosts::paper_default();
+    let perf = PerfModelParams::paper_default();
+    let params = CbpModelParams::paper_default();
+    assert_eq!(params.bw_units, 8, "the kernel exercises 8 bandwidth units");
+
+    // The per-epoch joint minimizer at the paper's largest configuration
+    // (4 cores, 16 ways, 8 bandwidth units, degrees 0..=4).
+    let models = four_core_models();
+    c.bench_function("cbp_decision_4core", |b| {
+        b.iter(|| {
+            minimize(
+                std::hint::black_box(&models),
+                &costs,
+                &perf,
+                &params,
+                0.10,
+                16,
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = cbp;
+    config = Criterion::default().sample_size(50);
+    targets = bench_cbp
+}
+criterion_main!(cbp);

@@ -32,6 +32,11 @@ fn four_core_observations() -> EpochObservations {
         cur_ways: vec![4; 4],
         misses: vec![20_000, 10_000, 6_000, 5_000],
         retired: vec![400_000, 800_000, 900_000, 950_000],
+        dram_lines: Vec::new(),
+        bw_delayed: Vec::new(),
+        bw_delay_cycles: Vec::new(),
+        prefetches: Vec::new(),
+        prefetch_useful: Vec::new(),
     }
 }
 

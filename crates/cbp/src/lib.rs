@@ -1,0 +1,36 @@
+//! Coordinated cache + bandwidth + prefetch (CBP) partitioning.
+//!
+//! The Cooperative Partitioning policy (HPCA 2012) trades one resource —
+//! LLC ways — and the coop-dvfs extension adds a second, the core clock.
+//! This crate coordinates the two resources the memory system itself
+//! exposes: **DRAM bandwidth** (the token-bucket regulator in `memsim`)
+//! and **prefetch aggressiveness** (the throttleable stride prefetcher in
+//! `cpusim`). The three knobs interact strongly — prefetching converts
+//! stall time into line traffic, bandwidth caps make that traffic slow,
+//! and bigger way allocations remove the misses that motivated
+//! prefetching in the first place — so deciding them independently
+//! leaves energy on the table. Structure:
+//!
+//! * [`model`] — [`CoreCbpModel`]: the coop-dvfs epoch performance model
+//!   extended with prefetch coverage/accuracy and a bandwidth roofline;
+//! * [`mod@minimize`] — the QoS-constrained dynamic program over exact
+//!   (ways, bandwidth units) per core, best prefetch degree per cell;
+//! * [`controller`] — [`CbpController`]: differences the harness's
+//!   cumulative epoch counters, fits per-core models, runs the minimizer;
+//! * [`policy`] — [`CbpPolicy`], registry entry `"cbp"`: way targets as a
+//!   cooperative takeover repartition, bandwidth shares and prefetch
+//!   degrees as [`ResourceHints`](coop_core::policy::ResourceHints).
+//!
+//! Like every policy crate, this one only *plans*; the mechanisms that
+//! apply the plan (way masks, the token bucket, the prefetcher) live in
+//! `coop-core`, `memsim` and `cpusim` and know nothing about it.
+
+pub mod controller;
+pub mod minimize;
+pub mod model;
+pub mod policy;
+
+pub use controller::{CbpConfig, CbpController, CbpDecision};
+pub use minimize::{minimize, CbpAssignment, CbpChoice};
+pub use model::{accuracy_estimate, CbpModelParams, CoreCbpModel, MAX_DEGREE};
+pub use policy::{register, CbpPolicy};

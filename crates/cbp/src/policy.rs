@@ -1,62 +1,55 @@
-//! The coordinated DVFS + partitioning controller as a
-//! [`PartitionPolicy`].
+//! The coordinated CBP controller as a [`PartitionPolicy`].
 //!
-//! PR 2 attached the controller through a bespoke `System::with_dvfs` /
-//! `PartitionedLlc::on_epoch_with_allocation` side door. With the policy
-//! API it is just another registry entry (`"dvfs"`): each epoch it decides
-//! joint (frequency, ways) targets, returns the way targets as a normal
-//! takeover repartition and the frequencies as
-//! [`ResourceHints::clock_ratios`], which the system loop forwards to
-//! `Core::set_clock_ratio`.
+//! Registry entry `"cbp"`: each epoch the policy decides joint
+//! (ways, bandwidth share, prefetch degree) targets, returns the way
+//! targets as a normal takeover repartition and the other two resources
+//! as [`ResourceHints::bandwidth_shares`] /
+//! [`ResourceHints::prefetch_slots`], which the system loop forwards to
+//! the LLC's token-bucket regulator and `Core::set_prefetch_degree`.
 
 use coop_core::policy::{AllocationDecision, EpochObservations, PartitionPolicy, ResourceHints};
 use coop_core::registry::{PolicyEntry, PolicyRegistry};
 use coop_core::{allocate, EnforcementMode};
 
-use crate::controller::{DvfsConfig, DvfsController};
+use crate::controller::{CbpConfig, CbpController};
 
-/// The coordinated DVFS + cooperative-partitioning policy.
+/// The coordinated cache + bandwidth + prefetch partitioning policy.
 #[derive(Debug, Clone)]
-pub struct DvfsPolicy {
-    ctl: DvfsController,
+pub struct CbpPolicy {
+    ctl: CbpController,
     /// Takeover threshold for the rare epochs where no time elapsed since
     /// the last decision (nothing to model): the policy then falls back to
     /// the plain cooperative look-ahead over the same UMON curves.
     fallback_threshold: f64,
 }
 
-impl DvfsPolicy {
+impl CbpPolicy {
     /// Creates the policy for `cores` cores sharing `total_ways` ways.
     pub fn new(
-        cfg: DvfsConfig,
+        cfg: CbpConfig,
         cores: usize,
         total_ways: usize,
         fallback_threshold: f64,
-    ) -> DvfsPolicy {
-        DvfsPolicy {
-            ctl: DvfsController::new(cfg, cores, total_ways),
+    ) -> CbpPolicy {
+        CbpPolicy {
+            ctl: CbpController::new(cfg, cores, total_ways),
             fallback_threshold,
         }
     }
 
-    /// The underlying controller (residency books, configuration).
-    pub fn controller(&self) -> &DvfsController {
+    /// The underlying controller (current degrees, configuration).
+    pub fn controller(&self) -> &CbpController {
         &self.ctl
-    }
-
-    /// Mutable access for window bookkeeping (`settle`).
-    pub fn controller_mut(&mut self) -> &mut DvfsController {
-        &mut self.ctl
     }
 }
 
-impl PartitionPolicy for DvfsPolicy {
+impl PartitionPolicy for CbpPolicy {
     fn name(&self) -> &'static str {
-        "dvfs"
+        "cbp"
     }
 
     fn label(&self) -> &'static str {
-        "Coordinated DVFS + CP"
+        "Coordinated CBP (ways + bandwidth + prefetch)"
     }
 
     fn enforcement(&self) -> EnforcementMode {
@@ -68,18 +61,13 @@ impl PartitionPolicy for DvfsPolicy {
     }
 
     fn on_epoch(&mut self, obs: &EpochObservations) -> AllocationDecision {
-        match self.ctl.on_epoch(
-            obs.now,
-            &obs.curves,
-            &obs.retired,
-            &obs.misses,
-            &obs.cur_ways,
-        ) {
+        match self.ctl.on_epoch(obs) {
             Some(d) => AllocationDecision {
                 allocation: Some(d.allocation),
                 age_umons: true,
                 hints: ResourceHints {
-                    clock_ratios: Some(d.ratios),
+                    bandwidth_shares: Some(d.shares),
+                    prefetch_slots: Some(d.degrees),
                     ..ResourceHints::default()
                 },
             },
@@ -92,17 +80,17 @@ impl PartitionPolicy for DvfsPolicy {
     }
 }
 
-/// Registers the `"dvfs"` policy. The spec's `qos_slack` becomes the QoS
+/// Registers the `"cbp"` policy. The spec's `qos_slack` becomes the QoS
 /// constraint; `threshold` seeds the zero-elapsed-time fallback.
 pub fn register(reg: &mut PolicyRegistry) {
     reg.register(PolicyEntry::new(
-        "dvfs",
-        &["coop-dvfs", "dvfs_cp"],
-        "QoS-constrained joint (frequency, ways) energy minimizer over cooperative takeover",
+        "cbp",
+        &["coop-cbp", "cbp_coord"],
+        "QoS-constrained joint (ways, bandwidth, prefetch) energy minimizer over cooperative takeover",
         Some(coop_core::SchemeKind::Cooperative),
         |spec| {
-            Box::new(DvfsPolicy::new(
-                DvfsConfig::paper_default(spec.qos_slack),
+            Box::new(CbpPolicy::new(
+                CbpConfig::paper_default(spec.qos_slack),
                 spec.cores,
                 spec.total_ways,
                 spec.threshold,
@@ -134,36 +122,50 @@ mod tests {
             cur_ways: vec![4, 4],
             misses: vec![5_000, 50_000],
             retired: vec![400_000, 100_000],
-            dram_lines: Vec::new(),
+            dram_lines: vec![6_000, 55_000],
             bw_delayed: Vec::new(),
             bw_delay_cycles: Vec::new(),
-            prefetches: Vec::new(),
-            prefetch_useful: Vec::new(),
+            prefetches: vec![128, 10_000],
+            prefetch_useful: vec![100, 9_000],
         }
     }
 
     #[test]
-    fn policy_decides_ways_and_clock_hints() {
-        let mut p = DvfsPolicy::new(DvfsConfig::paper_default(0.10), 2, 8, 0.03);
+    fn policy_decides_ways_and_bandwidth_and_prefetch_hints() {
+        let mut p = CbpPolicy::new(CbpConfig::paper_default(0.10), 2, 8, 0.03);
         assert_eq!(p.enforcement(), EnforcementMode::Takeover);
         assert!(p.uses_umon());
         let d = p.on_epoch(&obs(500_000));
         let alloc = d.allocation.expect("elapsed time yields a decision");
         assert_eq!(alloc.ways.len(), 2);
         assert!(alloc.ways.iter().all(|&w| w >= 1));
-        let ratios = d.hints.clock_ratios.expect("dvfs always hints the clock");
-        assert!(ratios.iter().all(|&r| r >= 1.0));
+        let shares = d
+            .hints
+            .bandwidth_shares
+            .expect("cbp always hints bandwidth");
+        assert!(shares.iter().sum::<f64>() <= 1.0 + 1e-12);
+        assert!(shares.iter().all(|&s| s > 0.0));
+        let slots = d.hints.prefetch_slots.expect("cbp always hints prefetch");
+        assert_eq!(slots.len(), 2);
+        assert!(d.hints.clock_ratios.is_none(), "cbp leaves the clock alone");
         assert!(d.age_umons);
         assert_eq!(p.controller().decisions(), 1);
     }
 
     #[test]
     fn zero_elapsed_time_falls_back_to_cooperative_lookahead() {
-        let mut p = DvfsPolicy::new(DvfsConfig::paper_default(0.10), 2, 8, 0.03);
+        let mut p = CbpPolicy::new(CbpConfig::paper_default(0.10), 2, 8, 0.03);
         let d = p.on_epoch(&obs(0));
         let alloc = d.allocation.expect("fallback still repartitions");
         assert!(alloc.ways.iter().all(|&w| w >= 1));
-        assert!(d.hints.clock_ratios.is_none(), "clock left untouched");
+        assert!(
+            d.hints.bandwidth_shares.is_none(),
+            "regulator left untouched"
+        );
+        assert!(
+            d.hints.prefetch_slots.is_none(),
+            "prefetcher left untouched"
+        );
         assert_eq!(p.controller().decisions(), 0, "the minimizer never ran");
     }
 
@@ -178,10 +180,11 @@ mod tests {
             cpe_slack: 0.05,
             qos_slack: 0.20,
         };
-        let p = reg.build("dvfs", &spec).expect("registered");
+        let p = reg.build("cbp", &spec).expect("registered");
         let any: &dyn std::any::Any = &*p;
-        let dvfs = any.downcast_ref::<DvfsPolicy>().expect("concrete type");
-        assert!((dvfs.controller().config().qos_slack - 0.20).abs() < 1e-12);
-        assert_eq!(reg.resolve("coop-dvfs"), Some("dvfs"));
+        let cbp = any.downcast_ref::<CbpPolicy>().expect("concrete type");
+        assert!((cbp.controller().config().qos_slack - 0.20).abs() < 1e-12);
+        assert_eq!(reg.resolve("coop-cbp"), Some("cbp"));
+        assert_eq!(reg.resolve("cbp_coord"), Some("cbp"));
     }
 }

@@ -25,7 +25,7 @@
 //! completion cycle, going through the LLC MSHRs and the banked DRAM.
 
 use memsim::mshr::MshrOutcome;
-use memsim::{Dram, MshrFile, SetArena, WayMask};
+use memsim::{BandwidthConfig, BandwidthRegulator, Dram, MshrFile, SetArena, WayMask};
 use simkit::types::{CoreId, Cycle, LineAddr};
 use simkit::DetRng;
 
@@ -76,6 +76,11 @@ pub struct PartitionedLlc {
     demand_ways_consulted: u64,
     /// Target way ownership from the latest decision (`None` = unallocated).
     target_owner: Vec<Option<CoreId>>,
+    /// Per-core DRAM bandwidth regulator. `None` (the default) leaves the
+    /// memory path unregulated — bit-identical to the pre-regulator
+    /// machine; installed lazily by
+    /// [`PartitionedLlc::set_bandwidth_shares`].
+    bandwidth: Option<BandwidthRegulator>,
     /// Scheme policy embedded for the legacy [`PartitionedLlc::on_epoch`]
     /// entry; `None` for mechanisms driven externally via
     /// [`PartitionedLlc::apply_decision`].
@@ -175,6 +180,7 @@ impl PartitionedLlc {
             energy: EnergyCounts::default(),
             demand_ways_consulted: 0,
             target_owner,
+            bandwidth: None,
             compat: None,
         }
     }
@@ -237,6 +243,27 @@ impl PartitionedLlc {
     /// Number of powered-on ways right now.
     pub fn ways_on(&self) -> usize {
         self.power.on_count()
+    }
+
+    /// Publishes per-core DRAM bandwidth shares (fractions of peak, one
+    /// per core), lazily installing the token-bucket regulator matched to
+    /// the paper machine's DRAM timing on first use. Until the first call
+    /// the memory path is unregulated and bit-identical to the
+    /// pre-regulator machine.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `shares` does not have one entry per core.
+    pub fn set_bandwidth_shares(&mut self, shares: &[f64]) {
+        let cores = self.cores;
+        self.bandwidth
+            .get_or_insert_with(|| BandwidthRegulator::new(cores, BandwidthConfig::paper_default()))
+            .set_shares(shares);
+    }
+
+    /// The installed bandwidth regulator, if any (read-only view).
+    pub fn bandwidth_regulator(&self) -> Option<&BandwidthRegulator> {
+        self.bandwidth.as_ref()
     }
 
     /// The current UMON miss curve for `core`.
@@ -375,6 +402,7 @@ impl PartitionedLlc {
                 let victim_line = self.cfg.geom.line_from(prev.tag, set_idx);
                 dram.write(now, victim_line);
                 self.stats.writebacks.inc();
+                self.stats.per_core[core.index()].dram_lines.inc();
                 if self.mode == EnforcementMode::LazyReplacement && stolen {
                     // Lazy-quota migration flush: the donor's dirty block
                     // leaves on a recipient miss (Figure 16's UCP series).
@@ -387,11 +415,86 @@ impl PartitionedLlc {
         }
         self.energy.data_writes += 1; // fill into the data array
 
-        let completion = dram.read(start, line);
+        let completion = self.gated_dram_read(start, core, line, dram);
         if track_mshr {
             self.mshr.set_completion(line, completion);
         }
         completion
+    }
+
+    /// Prefetch access by `core` at cycle `now` — the LLC side of
+    /// [`cpusim`'s `LlcPort::prefetch`]. Timing mirrors [`PartitionedLlc::access`]
+    /// (MSHRs, victim choice, regulator gate, DRAM), but the bookkeeping
+    /// differs: prefetches count in their own per-core columns, never feed
+    /// the utility monitors, and a prefetch *hit* does not touch LRU — a
+    /// speculative probe must not perturb demand-driven replacement or
+    /// monitoring state.
+    pub fn prefetch(&mut self, now: Cycle, core: CoreId, line: LineAddr, dram: &mut Dram) -> Cycle {
+        let set_idx = self.cfg.geom.set_index(line);
+        let tag = self.cfg.geom.tag(line);
+        self.stats.per_core[core.index()].prefetch_reads.inc();
+
+        let probe = self.probe_mask(core);
+        debug_assert!(!probe.is_empty(), "a core always owns at least one way");
+        self.energy.tag_way_probes += probe.count() as u64;
+
+        if self.sets.find(set_idx, tag, probe).is_some() {
+            self.energy.data_reads += 1;
+            return now + self.cfg.hit_latency;
+        }
+
+        // Prefetch miss: fill from DRAM under the same MSHR/victim/regulator
+        // path a demand miss takes, attributed to the issuing core.
+        self.stats.per_core[core.index()].prefetch_fills.inc();
+        let mut start = now + self.cfg.hit_latency;
+        let mut track_mshr = false;
+        match self.mshr.begin(now, line) {
+            MshrOutcome::Merged(done) => return done,
+            MshrOutcome::Full(hint) => start = start.max(hint),
+            MshrOutcome::Allocated => track_mshr = true,
+        }
+
+        let way = self.choose_victim(core, set_idx);
+        let prev = self.sets.fill(set_idx, way, tag, core, false);
+        if prev.valid {
+            let stolen = prev.owner != core;
+            if prev.dirty {
+                let victim_line = self.cfg.geom.line_from(prev.tag, set_idx);
+                dram.write(now, victim_line);
+                self.stats.writebacks.inc();
+                self.stats.per_core[core.index()].dram_lines.inc();
+                if self.mode == EnforcementMode::LazyReplacement && stolen {
+                    self.record_flush(now, 1);
+                }
+            }
+            if self.mode == EnforcementMode::LazyReplacement && stolen {
+                self.ucp.on_steal(now, core, set_idx);
+            }
+        }
+        self.energy.data_writes += 1; // fill into the data array
+
+        let completion = self.gated_dram_read(start, core, line, dram);
+        if track_mshr {
+            self.mshr.set_completion(line, completion);
+        }
+        completion
+    }
+
+    /// Routes a DRAM line read through the bandwidth regulator (when one
+    /// is installed) and charges the transfer to `core`.
+    fn gated_dram_read(
+        &mut self,
+        start: Cycle,
+        core: CoreId,
+        line: LineAddr,
+        dram: &mut Dram,
+    ) -> Cycle {
+        self.stats.per_core[core.index()].dram_lines.inc();
+        let start = match self.bandwidth.as_mut() {
+            Some(reg) => reg.gate(start, core),
+            None => start,
+        };
+        dram.read(start, line)
     }
 
     /// A dirty line evicted from a core's L1 is written back into the LLC
@@ -414,6 +517,7 @@ impl PartitionedLlc {
         }
         dram.write(now, line);
         self.stats.writebacks.inc();
+        self.stats.per_core[core.index()].dram_lines.inc();
     }
 
     // ----------------------------------------------------------- partitioning
@@ -432,6 +536,24 @@ impl PartitionedLlc {
             cur_ways: self.current_allocation(),
             misses: self.stats.per_core.iter().map(|c| c.misses.get()).collect(),
             retired,
+            dram_lines: self
+                .stats
+                .per_core
+                .iter()
+                .map(|c| c.dram_lines.get())
+                .collect(),
+            bw_delayed: match &self.bandwidth {
+                Some(r) => r.stats().iter().map(|s| s.delayed.get()).collect(),
+                None => Vec::new(),
+            },
+            bw_delay_cycles: match &self.bandwidth {
+                Some(r) => r.stats().iter().map(|s| s.delay_cycles.get()).collect(),
+                None => Vec::new(),
+            },
+            // Core-side prefetch counters are filled by the epoch driver
+            // (the LLC cannot see them).
+            prefetches: Vec::new(),
+            prefetch_useful: Vec::new(),
         }
     }
 

@@ -50,6 +50,22 @@ pub struct EpochObservations {
     pub misses: Vec<u64>,
     /// Cumulative per-core retired instructions (may be empty).
     pub retired: Vec<u64>,
+    /// Cumulative per-core DRAM line transfers (demand fills, prefetch
+    /// fills and write-backs the core caused). Empty when the LLC does
+    /// not track bandwidth.
+    pub dram_lines: Vec<u64>,
+    /// Cumulative per-core accesses the bandwidth regulator delayed
+    /// (empty when no regulator is installed).
+    pub bw_delayed: Vec<u64>,
+    /// Cumulative per-core cycles of regulator-imposed delay (empty when
+    /// no regulator is installed).
+    pub bw_delay_cycles: Vec<u64>,
+    /// Cumulative per-core prefetches issued (empty when the caller has
+    /// no core-side counters).
+    pub prefetches: Vec<u64>,
+    /// Cumulative per-core useful prefetches — prefetched lines later
+    /// touched by a demand access (empty like `prefetches`).
+    pub prefetch_useful: Vec<u64>,
 }
 
 impl EpochObservations {
@@ -320,6 +336,11 @@ mod tests {
             cur_ways: vec![ways / n; n],
             misses: vec![0; n],
             retired: Vec::new(),
+            dram_lines: Vec::new(),
+            bw_delayed: Vec::new(),
+            bw_delay_cycles: Vec::new(),
+            prefetches: Vec::new(),
+            prefetch_useful: Vec::new(),
         }
     }
 

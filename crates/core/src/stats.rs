@@ -12,6 +12,15 @@ pub struct CoreLlcStats {
     pub accesses: Counter,
     /// Demand misses.
     pub misses: Counter,
+    /// Prefetch reads arriving at the LLC (tagged distinctly from demand;
+    /// zero unless the core-side prefetcher is enabled).
+    pub prefetch_reads: Counter,
+    /// Prefetch reads that missed and filled from DRAM.
+    pub prefetch_fills: Counter,
+    /// DRAM line transfers attributed to this core (demand fills,
+    /// prefetch fills and write-backs it caused) — the bandwidth
+    /// consumption a multi-resource policy trades against ways.
+    pub dram_lines: Counter,
 }
 
 impl CoreLlcStats {

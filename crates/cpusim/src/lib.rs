@@ -21,15 +21,23 @@
 //! core's cycles over the nominal-frequency reference timeline (so DRAM
 //! latency in core cycles shrinks as the clock slows, exactly as in
 //! hardware).
+//!
+//! [`prefetch`] adds a throttleable next-line/stride L1-D prefetcher: a
+//! per-epoch *degree* (0 = off) set through [`Core::set_prefetch_degree`]
+//! controls how many lines each demand miss runs ahead; prefetch reads
+//! reach the LLC through the distinct [`LlcPort::prefetch`] entry so the
+//! shared cache can account and bandwidth-regulate them separately.
 
 pub mod bpred;
 pub mod clock;
 pub mod core;
+pub mod prefetch;
 pub mod stepper;
 pub mod trace;
 
 pub use bpred::{BranchStats, Gshare};
 pub use clock::{CoreClock, OperatingPoint, VfTable};
 pub use core::{Core, CoreConfig, CoreStats, LlcPort, StepOutcome};
+pub use prefetch::Prefetcher;
 pub use stepper::{EpochControl, StepperKind, SystemStepper};
 pub use trace::{Instr, InstrKind, InstrSource, TraceError, TraceSource};

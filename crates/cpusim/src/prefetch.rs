@@ -1,0 +1,208 @@
+//! Throttleable next-line/stride prefetcher for the L1 data cache.
+//!
+//! A per-core hardware prefetcher in the classic two-state stride style:
+//! it watches demand-miss line numbers, locks onto a repeated stride, and
+//! proposes up to `degree` lines ahead of each miss. The degree is the
+//! throttle — `0` disables the prefetcher entirely (bit-identical to a
+//! build without one), `1` is a conservative single next-line/stride
+//! fetch, higher degrees run further ahead. Policies drive the degree per
+//! epoch through `AllocationDecision::hints::prefetch_slots`.
+//!
+//! The prefetcher itself is a pure function of the core's own demand-miss
+//! sequence: no randomness, no cross-core state, no clock reads. The core
+//! only consults it inside `dispatch` (a progress step), so the wake-list
+//! `StepOutcome` contract is untouched, and prefetches that find the L1
+//! MSHR file full are *dropped*, never stalled on.
+
+/// Most lines a single miss may prefetch (degree is clamped to this).
+pub const MAX_DEGREE: usize = 4;
+
+/// Prefetched lines remembered for usefulness accounting.
+const RECENT: usize = 32;
+
+/// Repeats of a delta required before striding replaces next-line.
+const LOCK_CONFIDENCE: u8 = 2;
+
+/// Per-core stride prefetcher state.
+#[derive(Debug, Clone)]
+pub struct Prefetcher {
+    degree: u8,
+    /// Line number of the last observed demand miss.
+    last_line: u64,
+    have_last: bool,
+    /// Candidate stride in lines (may be negative).
+    stride: i64,
+    /// Consecutive confirmations of `stride`.
+    confidence: u8,
+    /// Ring of recently prefetched line numbers not yet demanded
+    /// (`u64::MAX` = empty slot), for accuracy accounting.
+    recent: [u64; RECENT],
+    recent_head: usize,
+}
+
+impl Default for Prefetcher {
+    fn default() -> Self {
+        Prefetcher::new()
+    }
+}
+
+impl Prefetcher {
+    /// A disabled prefetcher (degree 0).
+    pub fn new() -> Prefetcher {
+        Prefetcher {
+            degree: 0,
+            last_line: 0,
+            have_last: false,
+            stride: 0,
+            confidence: 0,
+            recent: [u64::MAX; RECENT],
+            recent_head: 0,
+        }
+    }
+
+    /// Sets the aggressiveness: lines fetched ahead per demand miss,
+    /// clamped to [`MAX_DEGREE`]. `0` turns the prefetcher off.
+    pub fn set_degree(&mut self, degree: u8) {
+        self.degree = degree.min(MAX_DEGREE as u8);
+    }
+
+    /// The current degree.
+    pub fn degree(&self) -> u8 {
+        self.degree
+    }
+
+    /// Whether the prefetcher is active. The core consults nothing below
+    /// this check when off, so degree 0 is exactly the pre-prefetcher
+    /// machine.
+    pub fn enabled(&self) -> bool {
+        self.degree > 0
+    }
+
+    /// Observes a demand miss on `line_no` and returns the prefetch
+    /// candidates it proposes: `degree` lines ahead along the locked
+    /// stride (or next-line until a stride is locked), oldest first.
+    /// Candidates that would leave the data line-number space are
+    /// dropped.
+    pub fn observe_miss(&mut self, line_no: u64) -> impl Iterator<Item = u64> {
+        let step = if self.have_last {
+            let delta = line_no.wrapping_sub(self.last_line) as i64;
+            if delta != 0 && delta == self.stride {
+                self.confidence = self.confidence.saturating_add(1);
+            } else {
+                self.stride = delta;
+                self.confidence = u8::from(delta != 0);
+            }
+            if self.confidence >= LOCK_CONFIDENCE {
+                self.stride
+            } else {
+                1
+            }
+        } else {
+            1
+        };
+        self.last_line = line_no;
+        self.have_last = true;
+        let degree = self.degree as i64;
+        (1..=degree).filter_map(move |k| {
+            let cand = line_no.wrapping_add((step * k) as u64);
+            // Stay far below the I-side address tag (bit 48 of the byte
+            // address) and reject wrap-arounds below line 0.
+            (cand != line_no && cand < (1u64 << 40)).then_some(cand)
+        })
+    }
+
+    /// Records that `line_no` was actually issued to the memory system.
+    pub fn mark_issued(&mut self, line_no: u64) {
+        self.recent[self.recent_head] = line_no;
+        self.recent_head = (self.recent_head + 1) % RECENT;
+    }
+
+    /// Notes a demand access; returns `true` when it is the first demand
+    /// touch of a recently prefetched line (a *useful* prefetch).
+    pub fn note_demand(&mut self, line_no: u64) -> bool {
+        for slot in self.recent.iter_mut() {
+            if *slot == line_no {
+                *slot = u64::MAX;
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cands(p: &mut Prefetcher, line: u64) -> Vec<u64> {
+        p.observe_miss(line).collect()
+    }
+
+    #[test]
+    fn degree_zero_proposes_nothing() {
+        let mut p = Prefetcher::new();
+        assert!(!p.enabled());
+        assert_eq!(cands(&mut p, 100), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn next_line_until_a_stride_locks() {
+        let mut p = Prefetcher::new();
+        p.set_degree(2);
+        // First misses: next-line guesses.
+        assert_eq!(cands(&mut p, 100), vec![101, 102]);
+        assert_eq!(cands(&mut p, 104), vec![105, 106]);
+        // Second occurrence of stride 4 locks it.
+        assert_eq!(cands(&mut p, 108), vec![112, 116]);
+        assert_eq!(cands(&mut p, 112), vec![116, 120]);
+    }
+
+    #[test]
+    fn stride_break_falls_back_to_next_line() {
+        let mut p = Prefetcher::new();
+        p.set_degree(1);
+        for l in [100, 104, 108] {
+            cands(&mut p, l);
+        }
+        assert_eq!(cands(&mut p, 109), vec![110], "broken stride → next-line");
+    }
+
+    #[test]
+    fn negative_strides_work() {
+        let mut p = Prefetcher::new();
+        p.set_degree(2);
+        cands(&mut p, 1000);
+        cands(&mut p, 992);
+        assert_eq!(cands(&mut p, 984), vec![976, 968]);
+    }
+
+    #[test]
+    fn usefulness_is_counted_once_per_line() {
+        let mut p = Prefetcher::new();
+        p.set_degree(1);
+        p.mark_issued(500);
+        assert!(p.note_demand(500));
+        assert!(!p.note_demand(500), "second touch is a plain hit");
+        assert!(!p.note_demand(501));
+    }
+
+    #[test]
+    fn candidates_stay_inside_the_address_space() {
+        let mut p = Prefetcher::new();
+        p.set_degree(4);
+        cands(&mut p, 10);
+        cands(&mut p, 5); // stride -5
+        let c = cands(&mut p, 0);
+        assert!(
+            c.iter().all(|&l| l < (1 << 40)),
+            "no wrap below zero: {c:?}"
+        );
+    }
+
+    #[test]
+    fn degree_clamps_to_max() {
+        let mut p = Prefetcher::new();
+        p.set_degree(200);
+        assert_eq!(p.degree(), MAX_DEGREE as u8);
+    }
+}

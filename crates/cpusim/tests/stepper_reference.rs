@@ -10,7 +10,8 @@
 //! the full LLC access and writeback sequences, the finish cycles, the
 //! epoch-callback cycles and the final simulation time. Covered axes:
 //! 1/2/4/8 cores, five synthetic stream flavours, `.ctrace` replay via
-//! [`TraceSource`], nominal clocks and per-epoch DVFS dilation.
+//! [`TraceSource`], nominal clocks, per-epoch DVFS dilation and per-epoch
+//! prefetch-degree rotation (the full CBP throttle range).
 //!
 //! The suite also pins the two halves of the contract the equivalence
 //! rests on: the [`cpusim::StepOutcome`] wake-list guarantees (progress or
@@ -100,6 +101,7 @@ struct RecordingLlc {
     busy: Cycle,
     log: Vec<(u64, u8, u64, bool)>,
     wb: Vec<(u64, u8, u64)>,
+    pf: Vec<(u64, u8, u64)>,
 }
 
 impl LlcPort for RecordingLlc {
@@ -111,6 +113,15 @@ impl LlcPort for RecordingLlc {
 
     fn writeback(&mut self, now: Cycle, core: CoreId, line: LineAddr) {
         self.wb.push((now.raw(), core.0, line.raw()));
+    }
+
+    fn prefetch(&mut self, now: Cycle, core: CoreId, line: LineAddr) -> Cycle {
+        // Logged separately from demand traffic so a stepper that reorders
+        // prefetch issue against demand issue fails loudly; the latency
+        // shares the demand path's order-sensitive bank cursor.
+        self.pf.push((now.raw(), core.0, line.raw()));
+        self.busy = self.busy.max(now) + 3;
+        self.busy + 57 + (line.raw() % 5) * 31
     }
 }
 
@@ -127,8 +138,10 @@ struct Snapshot {
     finish: Vec<Option<u64>>,
     epochs: Vec<u64>,
     end: u64,
+    prefetch: Vec<(u64, u64, u64, u64)>,
     llc_log: Vec<(u64, u8, u64, bool)>,
     llc_wb: Vec<(u64, u8, u64)>,
+    llc_pf: Vec<(u64, u8, u64)>,
 }
 
 const EPOCH: u64 = 7_500;
@@ -140,9 +153,16 @@ fn run_snapshot(
     n: usize,
     mk: &dyn Fn(usize) -> Box<dyn InstrSource + Send>,
     dvfs: bool,
+    prefetch: bool,
 ) -> Snapshot {
     let mut cores: Vec<Core> = (0..n)
-        .map(|i| Core::new(CoreId(i as u8), CoreConfig::default(), mk(i)))
+        .map(|i| {
+            let mut c = Core::new(CoreId(i as u8), CoreConfig::default(), mk(i));
+            if prefetch {
+                c.set_prefetch_degree((i % (cpusim::prefetch::MAX_DEGREE + 1)) as u8);
+            }
+            c
+        })
         .collect();
     let mut llc = RecordingLlc::default();
     let mut stepper = SystemStepper::new(kind, EPOCH);
@@ -150,10 +170,17 @@ fn run_snapshot(
     let mut epochs: Vec<u64> = Vec::new();
     let finish = stepper.run(&mut cores, &mut llc, &targets, MAX, |now, cores, _| {
         epochs.push(now.raw());
+        let k = epochs.len();
         if dvfs {
-            let k = epochs.len();
             for (i, c) in cores.iter_mut().enumerate() {
                 c.set_clock_ratio(now, RATIOS[(i + k) % RATIOS.len()]);
+            }
+        }
+        if prefetch {
+            // Rotate through the full degree range, like an epoch policy
+            // re-deciding `prefetch_slots` every epoch.
+            for (i, c) in cores.iter_mut().enumerate() {
+                c.set_prefetch_degree(((i + k) % (cpusim::prefetch::MAX_DEGREE + 1)) as u8);
             }
         }
         EpochControl::Continue
@@ -188,8 +215,20 @@ fn run_snapshot(
         finish: finish.iter().map(|f| f.map(Cycle::raw)).collect(),
         epochs,
         end: stepper.now().raw(),
+        prefetch: cores
+            .iter()
+            .map(|c| {
+                (
+                    c.stats().prefetches.get(),
+                    c.stats().prefetch_useful.get(),
+                    c.stats().prefetch_late.get(),
+                    c.stats().prefetch_dropped.get(),
+                )
+            })
+            .collect(),
         llc_log: llc.log,
         llc_wb: llc.wb,
+        llc_pf: llc.pf,
     }
 }
 
@@ -218,9 +257,11 @@ fn first_diff(a: &Snapshot, b: &Snapshot) -> String {
     check!(finish);
     check!(epochs);
     check!(end);
+    check!(prefetch);
     for (seq, aa, bb) in [
         ("llc access", a.llc_log.len(), b.llc_log.len()),
         ("llc writeback", a.llc_wb.len(), b.llc_wb.len()),
+        ("llc prefetch", a.llc_pf.len(), b.llc_pf.len()),
     ] {
         if aa != bb {
             return format!("{seq} count: {aa} vs {bb}");
@@ -231,6 +272,9 @@ fn first_diff(a: &Snapshot, b: &Snapshot) -> String {
     }
     if let Some(i) = (0..a.llc_wb.len()).find(|&i| a.llc_wb[i] != b.llc_wb[i]) {
         return format!("llc writeback {i}: {:?} vs {:?}", a.llc_wb[i], b.llc_wb[i]);
+    }
+    if let Some(i) = (0..a.llc_pf.len()).find(|&i| a.llc_pf[i] != b.llc_pf[i]) {
+        return format!("llc prefetch {i}: {:?} vs {:?}", a.llc_pf[i], b.llc_pf[i]);
     }
     "identical".into()
 }
@@ -254,8 +298,8 @@ proptest! {
         let mk = |i: usize| -> Box<dyn InstrSource + Send> {
             Box::new(SynthSource::new(seed, i, flavor))
         };
-        let a = run_snapshot(StepperKind::Reference, n, &mk, false);
-        let b = run_snapshot(StepperKind::EventDriven, n, &mk, false);
+        let a = run_snapshot(StepperKind::Reference, n, &mk, false, false);
+        let b = run_snapshot(StepperKind::EventDriven, n, &mk, false, false);
         prop_assert!(
             a == b,
             "n={n} flavor={flavor}: {}", first_diff(&a, &b)
@@ -272,11 +316,34 @@ proptest! {
         let mk = |i: usize| -> Box<dyn InstrSource + Send> {
             Box::new(SynthSource::new(seed, i, flavor))
         };
-        let a = run_snapshot(StepperKind::Reference, n, &mk, true);
-        let b = run_snapshot(StepperKind::EventDriven, n, &mk, true);
+        let a = run_snapshot(StepperKind::Reference, n, &mk, true, false);
+        let b = run_snapshot(StepperKind::EventDriven, n, &mk, true, false);
         prop_assert!(
             a == b,
             "n={n} flavor={flavor} dvfs: {}", first_diff(&a, &b)
+        );
+    }
+
+    /// Prefetcher determinism under the seeded RNG: with per-epoch degree
+    /// rotation (0..=MAX_DEGREE) the two steppers agree bit for bit on
+    /// retired counts, every prefetch counter, and the interleaved
+    /// demand/prefetch/writeback sequences at the LLC.
+    #[test]
+    fn event_driven_matches_reference_with_prefetching(
+        seed in any::<u64>(),
+        sel in 0usize..4,
+        flavor in 0u8..5,
+        dvfs in any::<bool>(),
+    ) {
+        let n = CORE_COUNTS[sel];
+        let mk = |i: usize| -> Box<dyn InstrSource + Send> {
+            Box::new(SynthSource::new(seed, i, flavor))
+        };
+        let a = run_snapshot(StepperKind::Reference, n, &mk, dvfs, true);
+        let b = run_snapshot(StepperKind::EventDriven, n, &mk, dvfs, true);
+        prop_assert!(
+            a == b,
+            "n={n} flavor={flavor} dvfs={dvfs} prefetch: {}", first_diff(&a, &b)
         );
     }
 
@@ -291,8 +358,8 @@ proptest! {
             let instrs = Arc::new(gen_trace(seed ^ ((i as u64 + 1) << 40), len));
             Box::new(TraceSource::new(instrs).expect("non-empty trace"))
         };
-        let a = run_snapshot(StepperKind::Reference, n, &mk, true);
-        let b = run_snapshot(StepperKind::EventDriven, n, &mk, true);
+        let a = run_snapshot(StepperKind::Reference, n, &mk, true, true);
+        let b = run_snapshot(StepperKind::EventDriven, n, &mk, true, true);
         prop_assert!(
             a == b,
             "n={n} len={len} trace: {}", first_diff(&a, &b)

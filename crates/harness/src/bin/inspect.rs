@@ -4,9 +4,10 @@
 //! like G2-1, an ad-hoc mix like `soplex,namd`, or `trace:path.ctrace`;
 //! GROUP= is accepted as a legacy alias), SCHEME=policy-name (resolved
 //! through the harness policy registry), EPOCHS=n (default 34),
-//! QOS_SLACK=fraction (dvfs, default 0.10). Unknown workload or policy
-//! names print the registered lists and exit non-zero. Under SCHEME=dvfs
-//! each epoch line adds the chosen frequencies.
+//! QOS_SLACK=fraction (dvfs/cbp, default 0.10). Unknown workload or
+//! policy names print the registered lists and exit non-zero. Under
+//! SCHEME=dvfs each epoch line adds the chosen frequencies; under
+//! SCHEME=cbp it adds the chosen bandwidth shares and prefetch degrees.
 use coop_core::{LlcConfig, PartitionedLlc, PolicySpec, SchemeKind};
 use coop_dvfs::DvfsPolicy;
 use cpusim::{Core, CoreConfig, EpochControl, LlcPort, StepperKind, SystemStepper};
@@ -25,6 +26,9 @@ impl LlcPort for Port<'_> {
     fn writeback(&mut self, now: Cycle, core: CoreId, line: LineAddr) {
         self.llc.writeback(now, core, line, self.dram);
     }
+    fn prefetch(&mut self, now: Cycle, core: CoreId, line: LineAddr) -> Cycle {
+        self.llc.prefetch(now, core, line, self.dram)
+    }
 }
 
 fn main() {
@@ -37,7 +41,7 @@ fn main() {
              \x20    SCHEME=<policy> (default ucp; one of: {})\n\
              \x20    CURVES=1 to print per-epoch UMON miss curves\n\
              \x20    EPOCHS=n epochs to watch (default 34)\n\
-             \x20    QOS_SLACK=fraction for SCHEME=dvfs (default 0.10)",
+             \x20    QOS_SLACK=fraction for SCHEME=dvfs/cbp (default 0.10)",
             registry.names().join(", ")
         );
         return;
@@ -111,6 +115,10 @@ fn main() {
     if dvfs_mode {
         println!("coordinated DVFS enabled, QoS slack {qos_slack:.2}");
     }
+    let cbp_mode = policy_name == "cbp";
+    if cbp_mode {
+        println!("coordinated cache+bandwidth+prefetch enabled, QoS slack {qos_slack:.2}");
+    }
     let nominal_ghz = (policy.as_ref() as &dyn std::any::Any)
         .downcast_ref::<DvfsPolicy>()
         .map_or(2.0, |p| p.controller().config().table.nominal().freq_ghz);
@@ -162,6 +170,25 @@ fn main() {
                         port.llc.current_allocation(),
                         port.llc.ways_on(),
                         ghz,
+                        ipcs
+                    );
+                } else if cbp_mode {
+                    // The fallback epochs (no elapsed time) hint nothing;
+                    // print the applied state so the line is never blank.
+                    let bw: Vec<String> = match &decision.hints.bandwidth_shares {
+                        Some(shares) => shares.iter().map(|s| format!("{s:.2}")).collect(),
+                        None => vec!["-".into(); cores.len()],
+                    };
+                    let pf: Vec<u8> = match &decision.hints.prefetch_slots {
+                        Some(slots) => slots.clone(),
+                        None => cores.iter().map(|c| c.prefetch_degree()).collect(),
+                    };
+                    println!(
+                        "e{epoch} alloc={:?} on={} bw={:?} pf={:?} ipc={:?}",
+                        port.llc.current_allocation(),
+                        port.llc.ways_on(),
+                        bw,
+                        pf,
                         ipcs
                     );
                 } else {

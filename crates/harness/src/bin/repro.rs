@@ -11,7 +11,7 @@
 //!
 //! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig5_10 fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
-//!              all two-core four-core eight_core sample
+//!              cbp_energy all two-core four-core eight_core sample
 //! repro worker    # internal: fleet worker process (NDJSON on stdio)
 //! ```
 //!
@@ -394,6 +394,7 @@ fn select(
     };
     match what {
         "dvfs_energy" => vec![experiments::dvfs_energy::figure(scale, slacks)],
+        "cbp_energy" => vec![experiments::cbp_energy::figure(scale, slacks)],
         "table1" => vec![experiments::table1::table()],
         "table3" => vec![experiments::table3::table(scale)],
         "table4" => vec![experiments::table4::table()],
@@ -451,6 +452,7 @@ fn select(
             v.push(experiments::fig15::figure(scale));
             v.push(experiments::fig16::figure(scale));
             v.push(experiments::dvfs_energy::figure(scale, slacks));
+            v.push(experiments::cbp_energy::figure(scale, slacks));
             v
         }
         other => {
@@ -494,11 +496,12 @@ fn usage() {
          \x20      [--csv DIR] [--json DIR] [--slacks 0.05,0.10,0.20]\n\
          \x20      [--policy name[,name...]] [--group name[,name...]]\n\
          \x20      [--workers N] [--shards K] [--resume] [--sample N] [--seed S]\n\
-         experiments: table1 table3 table4 fig5..fig16 fig5_10 dvfs_energy\n\
+         experiments: table1 table3 table4 fig5..fig16 fig5_10 dvfs_energy cbp_energy\n\
          --policy:    restrict the sweep figures to these registry policies ({})\n\
          --group:     restrict the sweep figures to these workload groups (G2-*, G4-*, G8-*)\n\
          eight_core:  G8 extension sweeps beyond the paper (8 MB / 32-way LLC)\n\
          dvfs_energy: coordinated DVFS + partitioning vs Cooperative alone; --slacks sets the QoS sweep\n\
+         cbp_energy:  coordinated cache+bandwidth+prefetch vs Cooperative and DVFS; --slacks as above\n\
          --workers:   fleet mode — shard a sweep figure (or 'sample') over N worker\n\
          \x20            processes streaming into --json DIR; --resume continues a\n\
          \x20            killed or partially failed run from the same DIR\n\

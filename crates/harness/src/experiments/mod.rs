@@ -14,6 +14,7 @@
 // allowlisted here and in simlint's path allowlist.
 #![allow(clippy::disallowed_methods)]
 
+pub mod cbp_energy;
 pub mod dvfs_energy;
 pub mod fig11_13;
 pub mod fig14;

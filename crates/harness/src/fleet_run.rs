@@ -158,6 +158,12 @@ pub fn run_result_to_value(r: &RunResult) -> Value {
             Value::Arr(r.freq_residency.iter().map(|c| json::arr_f64(c)).collect()),
         ),
         ("avg_ways_owned", json::arr_f64(&r.avg_ways_owned)),
+        ("prefetches", json::arr_u64(&r.prefetches)),
+        ("prefetch_useful", json::arr_u64(&r.prefetch_useful)),
+        ("dram_lines", json::arr_u64(&r.dram_lines)),
+        ("bw_delay_cycles", json::arr_u64(&r.bw_delay_cycles)),
+        ("avg_bw_share", json::arr_f64(&r.avg_bw_share)),
+        ("avg_prefetch_degree", json::arr_f64(&r.avg_prefetch_degree)),
     ])
 }
 
@@ -221,6 +227,12 @@ pub fn run_result_from_value(v: &Value) -> Result<RunResult, String> {
             .map(|c| json::read_arr_f64(c).map_err(|_| "bad freq_residency row".to_string()))
             .collect::<Result<Vec<_>, _>>()?,
         avg_ways_owned: arr_f64_of(v, "avg_ways_owned")?,
+        prefetches: arr_u64_of(v, "prefetches")?,
+        prefetch_useful: arr_u64_of(v, "prefetch_useful")?,
+        dram_lines: arr_u64_of(v, "dram_lines")?,
+        bw_delay_cycles: arr_u64_of(v, "bw_delay_cycles")?,
+        avg_bw_share: arr_f64_of(v, "avg_bw_share")?,
+        avg_prefetch_degree: arr_f64_of(v, "avg_prefetch_degree")?,
     })
 }
 

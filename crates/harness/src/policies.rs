@@ -4,12 +4,14 @@
 use coop_core::PolicyRegistry;
 
 /// The full registry: the five paper schemes (`coop-core`) plus the
-/// coordinated DVFS + partitioning controller (`coop-dvfs`). A new policy
+/// coordinated DVFS + partitioning controller (`coop-dvfs`) and the
+/// cache + bandwidth + prefetch coordinator (`coop-cbp`). A new policy
 /// crate plugs in by adding one `register` call here — `repro`, `inspect`,
 /// the sweeps and the property tests pick it up by name.
 pub fn policy_registry() -> PolicyRegistry {
     let mut reg = PolicyRegistry::core();
     coop_dvfs::register(&mut reg);
+    coop_cbp::register(&mut reg);
     reg
 }
 
@@ -19,12 +21,14 @@ mod tests {
     use coop_core::PAPER_POLICIES;
 
     #[test]
-    fn registry_covers_paper_schemes_and_dvfs() {
+    fn registry_covers_paper_schemes_and_coordinators() {
         let reg = policy_registry();
         let names = reg.names();
         for p in PAPER_POLICIES {
             assert!(names.contains(&p), "{p} missing from {names:?}");
         }
         assert!(names.contains(&"dvfs"));
+        assert!(names.contains(&"cbp"));
+        assert_eq!(reg.resolve("coop-cbp"), Some("cbp"));
     }
 }

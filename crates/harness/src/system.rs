@@ -173,6 +173,8 @@ pub struct SystemBuilder {
     dram: DramConfig,
     core_power: Option<CoreEnergyParams>,
     stepper: StepperKind,
+    bandwidth_shares: Option<Vec<f64>>,
+    prefetch_degree: Option<u8>,
 }
 
 impl Default for SystemBuilder {
@@ -189,6 +191,8 @@ impl Default for SystemBuilder {
             dram: DramConfig::default(),
             core_power: None,
             stepper: StepperKind::default(),
+            bandwidth_shares: None,
+            prefetch_degree: None,
         }
     }
 }
@@ -284,6 +288,24 @@ impl SystemBuilder {
         self
     }
 
+    /// Installs the DRAM bandwidth regulator with these initial per-core
+    /// shares of peak bandwidth (scenario knob; policies may re-publish
+    /// shares per epoch through their hints). Default: no regulator —
+    /// the memory path is bit-identical to the pre-regulator machine.
+    pub fn bandwidth_shares(mut self, shares: Vec<f64>) -> Self {
+        self.bandwidth_shares = Some(shares);
+        self
+    }
+
+    /// Initial L1-D prefetcher degree for every core (scenario knob;
+    /// policies may re-set degrees per epoch through their hints).
+    /// Default: 0, prefetcher off — bit-identical to the pre-prefetcher
+    /// machine.
+    pub fn prefetch_degree(mut self, degree: u8) -> Self {
+        self.prefetch_degree = Some(degree);
+        self
+    }
+
     /// Builds the system, or reports an unresolvable policy name or
     /// workload spec (either error lists what is registered).
     pub fn try_build(self) -> Result<System, BuildError> {
@@ -318,10 +340,11 @@ impl SystemBuilder {
         }
         let spec = PolicySpec::for_llc(&llc, n).with_qos_slack(self.qos_slack);
         let policy = registry.build(canonical, &spec).expect("name resolved");
-        // DVFS runs evaluate core energy from the controller's magnitudes;
-        // everything else uses the 45 nm defaults unless overridden.
+        // Multi-resource runs (DVFS, CBP) evaluate core energy from the
+        // controller's magnitudes; everything else uses the 45 nm defaults
+        // unless overridden.
         let core_power = self.core_power.unwrap_or_else(|| {
-            if canonical == "dvfs" {
+            if canonical == "dvfs" || canonical == "cbp" {
                 DvfsConfig::paper_default(self.qos_slack).costs.core
             } else {
                 CoreEnergyParams::for_45nm()
@@ -337,7 +360,16 @@ impl SystemBuilder {
             core_power,
             dvfs: None,
         };
-        Ok(System::assemble(cfg, policy, workload, self.stepper))
+        let mut sys = System::assemble(cfg, policy, workload, self.stepper);
+        if let Some(shares) = &self.bandwidth_shares {
+            sys.llc.set_bandwidth_shares(shares);
+        }
+        if let Some(d) = self.prefetch_degree {
+            for core in &mut sys.cores {
+                core.set_prefetch_degree(d);
+            }
+        }
+        Ok(sys)
     }
 
     /// Builds the system.
@@ -410,6 +442,22 @@ pub struct RunResult {
     /// Mean ways owned per core across the window's partitioning epochs
     /// (way-aligned schemes; zeros for Unmanaged/UCP).
     pub avg_ways_owned: Vec<f64>,
+    /// Per-core L1-D prefetches issued inside the window (zeros with the
+    /// prefetcher off).
+    pub prefetches: Vec<u64>,
+    /// Per-core prefetched lines later touched by a demand access.
+    pub prefetch_useful: Vec<u64>,
+    /// Per-core DRAM line transfers inside the window (demand fills,
+    /// prefetch fills and write-backs the core caused).
+    pub dram_lines: Vec<u64>,
+    /// Per-core cycles of bandwidth-regulator delay inside the window
+    /// (zeros without a regulator).
+    pub bw_delay_cycles: Vec<u64>,
+    /// Mean bandwidth share granted per core across the window's epochs
+    /// (1.0 per core when no regulator is installed).
+    pub avg_bw_share: Vec<f64>,
+    /// Mean prefetch degree per core across the window's epochs.
+    pub avg_prefetch_degree: Vec<f64>,
 }
 
 impl RunResult {
@@ -455,6 +503,9 @@ struct SharedMem<'a> {
 impl LlcPort for SharedMem<'_> {
     fn access(&mut self, now: Cycle, core: CoreId, line: LineAddr, write: bool) -> Cycle {
         self.llc.access(now, core, line, write, self.dram)
+    }
+    fn prefetch(&mut self, now: Cycle, core: CoreId, line: LineAddr) -> Cycle {
+        self.llc.prefetch(now, core, line, self.dram)
     }
     fn writeback(&mut self, now: Cycle, core: CoreId, line: LineAddr) {
         self.llc.writeback(now, core, line, self.dram);
@@ -554,6 +605,9 @@ impl System {
         // Sum of per-core way targets over measured epochs + the epoch
         // count (for `RunResult::avg_ways_owned`).
         let mut way_occupancy: (Vec<u64>, u64) = (vec![0; n], 0);
+        // Sums of per-core bandwidth share and prefetch degree over the
+        // same epochs (for `avg_bw_share` / `avg_prefetch_degree`).
+        let mut resource_occupancy: (Vec<f64>, Vec<f64>) = (vec![0.0; n], vec![0.0; n]);
 
         // ---- Warm-up ----------------------------------------------------
         {
@@ -591,6 +645,15 @@ impl System {
             .collect();
         let base_flush = llc.stats().flush_lines.get();
         let base_counts = llc.energy_counts(window_start);
+        let base_prefetches: Vec<u64> = cores.iter().map(|c| c.stats().prefetches.get()).collect();
+        let base_useful: Vec<u64> = cores
+            .iter()
+            .map(|c| c.stats().prefetch_useful.get())
+            .collect();
+        let base_dram_lines: Vec<u64> = (0..n)
+            .map(|i| llc.stats().per_core[i].dram_lines.get())
+            .collect();
+        let base_bw_delay = bw_delay_cycles_of(&llc, n);
 
         let target: Vec<u64> = base_retired
             .iter()
@@ -606,6 +669,7 @@ impl System {
             let policy = &mut policy;
             let epoch_curves = &mut epoch_curves;
             let way_occupancy = &mut way_occupancy;
+            let resource_occupancy = &mut resource_occupancy;
             stepper.run(
                 &mut cores,
                 &mut port,
@@ -621,6 +685,15 @@ impl System {
                         *acc += w as u64;
                     }
                     way_occupancy.1 += 1;
+                    for (i, acc) in resource_occupancy.0.iter_mut().enumerate() {
+                        *acc += match port.llc.bandwidth_regulator() {
+                            Some(r) => r.share_of(CoreId(i as u8)),
+                            None => 1.0,
+                        };
+                    }
+                    for (acc, core) in resource_occupancy.1.iter_mut().zip(cores.iter()) {
+                        *acc += core.prefetch_degree() as f64;
+                    }
                     EpochControl::Continue
                 },
             )
@@ -712,6 +785,51 @@ impl System {
                 sums.iter().map(|&s| s as f64 / *epochs as f64).collect()
             }
         };
+        let (avg_bw_share, avg_prefetch_degree): (Vec<f64>, Vec<f64>) = {
+            let epochs = way_occupancy.1;
+            if epochs == 0 {
+                (
+                    (0..n)
+                        .map(|i| match llc.bandwidth_regulator() {
+                            Some(r) => r.share_of(CoreId(i as u8)),
+                            None => 1.0,
+                        })
+                        .collect(),
+                    cores.iter().map(|c| c.prefetch_degree() as f64).collect(),
+                )
+            } else {
+                (
+                    resource_occupancy
+                        .0
+                        .iter()
+                        .map(|&s| s / epochs as f64)
+                        .collect(),
+                    resource_occupancy
+                        .1
+                        .iter()
+                        .map(|&s| s / epochs as f64)
+                        .collect(),
+                )
+            }
+        };
+        let prefetches: Vec<u64> = cores
+            .iter()
+            .zip(&base_prefetches)
+            .map(|(c, &b)| c.stats().prefetches.get() - b)
+            .collect();
+        let prefetch_useful: Vec<u64> = cores
+            .iter()
+            .zip(&base_useful)
+            .map(|(c, &b)| c.stats().prefetch_useful.get() - b)
+            .collect();
+        let dram_lines: Vec<u64> = (0..n)
+            .map(|i| llc.stats().per_core[i].dram_lines.get() - base_dram_lines[i])
+            .collect();
+        let bw_delay_cycles: Vec<u64> = bw_delay_cycles_of(&llc, n)
+            .iter()
+            .zip(&base_bw_delay)
+            .map(|(&a, &b)| a - b)
+            .collect();
 
         RunResult {
             policy: policy.name().to_string(),
@@ -738,6 +856,12 @@ impl System {
             avg_freq_ghz,
             freq_residency,
             avg_ways_owned,
+            prefetches,
+            prefetch_useful,
+            dram_lines,
+            bw_delay_cycles,
+            avg_bw_share,
+            avg_prefetch_degree,
         }
     }
 }
@@ -757,12 +881,26 @@ pub fn drive_epoch(
     policy: &mut dyn PartitionPolicy,
 ) -> AllocationDecision {
     let retired: Vec<u64> = cores.iter().map(|c| c.retired()).collect();
-    let obs = llc.epoch_observations(now, retired);
+    let mut obs = llc.epoch_observations(now, retired);
+    // Core-side prefetch counters (the LLC cannot see them).
+    obs.prefetches = cores.iter().map(|c| c.stats().prefetches.get()).collect();
+    obs.prefetch_useful = cores
+        .iter()
+        .map(|c| c.stats().prefetch_useful.get())
+        .collect();
     let decision = policy.on_epoch(&obs);
     llc.apply_decision(now, dram, &decision);
     if let Some(ratios) = &decision.hints.clock_ratios {
         for (core, &r) in cores.iter_mut().zip(ratios.iter()) {
             core.set_clock_ratio(now, r);
+        }
+    }
+    if let Some(shares) = &decision.hints.bandwidth_shares {
+        llc.set_bandwidth_shares(shares);
+    }
+    if let Some(slots) = &decision.hints.prefetch_slots {
+        for (core, &d) in cores.iter_mut().zip(slots.iter()) {
+            core.set_prefetch_degree(d);
         }
     }
     decision
@@ -773,6 +911,15 @@ fn llc_misses(llc: &PartitionedLlc, n: usize) -> Vec<u64> {
     (0..n)
         .map(|i| llc.stats().per_core[i].misses.get())
         .collect()
+}
+
+/// Cumulative per-core regulator delay cycles (zeros when no bandwidth
+/// regulator is installed).
+fn bw_delay_cycles_of(llc: &PartitionedLlc, n: usize) -> Vec<u64> {
+    match llc.bandwidth_regulator() {
+        Some(r) => r.stats().iter().map(|s| s.delay_cycles.get()).collect(),
+        None => vec![0; n],
+    }
 }
 
 /// The policy as the concrete DVFS type, when it is one (residency

@@ -1,0 +1,191 @@
+//! Differential guards for the CBP mechanisms (bandwidth regulator,
+//! throttleable prefetcher).
+//!
+//! The mechanisms ship default-off: a system built without
+//! `bandwidth_shares` / `prefetch_degree` must be *bit-identical* to one
+//! built before the mechanisms existed — `tests/equivalence.rs` pins that
+//! against the pre-redesign goldens. This suite pins the other three
+//! contracts:
+//!
+//! * *explicit off equals absent* — degree-0 prefetching is the same
+//!   machine as no prefetcher at all, for every scheme family;
+//! * *enabled runs are deterministic* — the regulator and prefetcher are
+//!   pure functions of per-core state, so repeated runs and both
+//!   steppers (reference, event-driven) agree bit for bit;
+//! * *the knobs actually bite* — a static bandwidth cap delays real
+//!   accesses, a static prefetch degree issues real prefetches.
+
+use cpusim::StepperKind;
+use harness::{SimScale, System};
+
+/// Runs a quick-scale G2-1 configuration and returns its full `Debug`
+/// rendering (covers every `RunResult` field; floats print their shortest
+/// round-trip form, so equal strings means equal bits).
+fn run_fingerprint(
+    configure: impl FnOnce(harness::SystemBuilder) -> harness::SystemBuilder,
+) -> String {
+    let builder = System::builder().workload("G2-1").scale(SimScale::quick());
+    let r = configure(builder).build().run();
+    format!("{r:?}")
+}
+
+fn assert_same(label: &str, a: &str, b: &str) {
+    if a != b {
+        let at = a
+            .bytes()
+            .zip(b.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or(a.len().min(b.len()));
+        let lo = at.saturating_sub(80);
+        panic!(
+            "{label}: runs diverge near byte {at}:\n a: ...{}\n b: ...{}",
+            &a[lo..(at + 80).min(a.len())],
+            &b[lo..(at + 80).min(b.len())],
+        );
+    }
+}
+
+#[test]
+fn explicit_prefetch_off_is_bit_identical_to_default() {
+    // Degree 0 never proposes a line, never calls the prefetch port and
+    // never touches a counter, for every scheme family including the two
+    // coordinators (the CPE policy needs a solo profile and is covered by
+    // the registry path in `tests/equivalence.rs`).
+    for policy in ["unmanaged", "fair", "ucp", "cooperative", "dvfs"] {
+        let plain = run_fingerprint(|b| b.policy(policy));
+        let off = run_fingerprint(|b| b.policy(policy).prefetch_degree(0));
+        assert_same(policy, &plain, &off);
+    }
+}
+
+#[test]
+fn enabled_mechanisms_are_deterministic() {
+    // Static regulator + static prefetcher, no policy involvement: two
+    // identical builds must produce identical bits.
+    let mk = || {
+        run_fingerprint(|b| {
+            b.policy("cooperative")
+                .bandwidth_shares(vec![0.25, 0.25])
+                .prefetch_degree(2)
+        })
+    };
+    assert_same("static cbp mechanisms", &mk(), &mk());
+}
+
+#[test]
+fn cbp_policy_runs_are_deterministic() {
+    let mk = || run_fingerprint(|b| b.policy("cbp").qos_slack(0.10));
+    assert_same("cbp policy", &mk(), &mk());
+}
+
+#[test]
+fn steppers_agree_with_mechanisms_enabled() {
+    // The regulator delays MSHR completions and the prefetcher injects
+    // extra LLC traffic — the two hardest cases for wake-list stepping.
+    // Reference and event-driven must still agree bit for bit, both under
+    // a static configuration and under the coordinated policy.
+    for (label, configure) in [
+        (
+            "static",
+            Box::new(|b: harness::SystemBuilder| {
+                b.policy("cooperative")
+                    .bandwidth_shares(vec![0.25, 0.25])
+                    .prefetch_degree(2)
+            }) as Box<dyn Fn(harness::SystemBuilder) -> harness::SystemBuilder>,
+        ),
+        ("cbp", Box::new(|b| b.policy("cbp").qos_slack(0.10))),
+    ] {
+        let reference = run_fingerprint(|b| configure(b).stepper(StepperKind::Reference));
+        let event = run_fingerprint(|b| configure(b).stepper(StepperKind::EventDriven));
+        assert_same(label, &reference, &event);
+    }
+}
+
+#[test]
+fn bandwidth_cap_delays_accesses_and_prefetch_issues_lines() {
+    let base = System::builder()
+        .workload("G2-1")
+        .policy("cooperative")
+        .scale(SimScale::quick())
+        .build()
+        .run();
+    assert!(base.bw_delay_cycles.iter().all(|&d| d == 0));
+    assert!(base.prefetches.iter().all(|&p| p == 0));
+    assert_eq!(base.avg_bw_share, vec![1.0, 1.0]);
+    assert_eq!(base.avg_prefetch_degree, vec![0.0, 0.0]);
+
+    // An eighth of peak per core must throttle soplex (a miss-heavy
+    // workload) where the full machine never queued on bandwidth.
+    let capped = System::builder()
+        .workload("G2-1")
+        .policy("cooperative")
+        .scale(SimScale::quick())
+        .bandwidth_shares(vec![0.125, 0.125])
+        .build()
+        .run();
+    assert!(
+        capped.bw_delay_cycles.iter().any(|&d| d > 0),
+        "a 1/8 share should delay someone: {:?}",
+        capped.bw_delay_cycles
+    );
+    assert!(
+        capped.cycles >= base.cycles,
+        "throttling cannot speed the window up: {} vs {}",
+        capped.cycles,
+        base.cycles
+    );
+
+    let prefetching = System::builder()
+        .workload("G2-1")
+        .policy("cooperative")
+        .scale(SimScale::quick())
+        .prefetch_degree(2)
+        .build()
+        .run();
+    assert!(
+        prefetching.prefetches.iter().any(|&p| p > 0),
+        "degree 2 should issue prefetches: {:?}",
+        prefetching.prefetches
+    );
+    assert!(
+        prefetching
+            .prefetches
+            .iter()
+            .zip(prefetching.prefetch_useful.iter())
+            .all(|(&i, &u)| u <= i),
+        "useful prefetches cannot exceed issued: {:?} vs {:?}",
+        prefetching.prefetch_useful,
+        prefetching.prefetches
+    );
+    assert_eq!(prefetching.avg_prefetch_degree, vec![2.0, 2.0]);
+}
+
+#[test]
+fn cbp_policy_reports_its_decisions() {
+    let r = System::builder()
+        .workload("G2-1")
+        .policy("cbp")
+        .qos_slack(0.10)
+        .scale(SimScale::quick())
+        .build()
+        .run();
+    assert_eq!(r.policy, "cbp");
+    assert_eq!(r.avg_bw_share.len(), 2);
+    assert!(
+        r.avg_bw_share.iter().all(|&s| s > 0.0 && s <= 1.0),
+        "epoch-averaged shares stay in (0, 1]: {:?}",
+        r.avg_bw_share
+    );
+    assert!(
+        r.avg_bw_share.iter().sum::<f64>() <= 2.0,
+        "two cores cannot average above the peak"
+    );
+    assert!(
+        r.avg_prefetch_degree
+            .iter()
+            .all(|&d| (0.0..=cpusim::prefetch::MAX_DEGREE as f64).contains(&d)),
+        "average degrees stay within the hardware range: {:?}",
+        r.avg_prefetch_degree
+    );
+    assert!(r.ipc.iter().all(|&i| i > 0.0), "both cores make progress");
+}

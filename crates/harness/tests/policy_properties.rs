@@ -71,6 +71,11 @@ proptest! {
                     cur_ways: cur_ways.clone(),
                     misses: misses.clone(),
                     retired: retired.clone(),
+                    dram_lines: Vec::new(),
+                    bw_delayed: Vec::new(),
+                    bw_delay_cycles: Vec::new(),
+                    prefetches: Vec::new(),
+                    prefetch_useful: Vec::new(),
                 };
                 let decision = policy.on_epoch(&obs);
                 if let Some(alloc) = &decision.allocation {

@@ -17,7 +17,10 @@
 //!   private L1 instruction/data caches;
 //! * [`mshr::MshrFile`] — miss-status holding registers with merging;
 //! * [`dram::Dram`] — banked main memory with per-bank occupancy, a bounded
-//!   outstanding-request window and queueing-delay accounting.
+//!   outstanding-request window and queueing-delay accounting;
+//! * [`bandwidth::BandwidthRegulator`] — a per-core token-bucket stage in
+//!   front of the DRAM that delays over-budget line transfers by whole
+//!   cycles, enforcing fractional bandwidth shares deterministically.
 //!
 //! Timing follows a synchronous latency-return style: components are asked
 //! for an access at cycle *t* and answer with the completion cycle, keeping
@@ -25,6 +28,7 @@
 
 pub mod addr;
 pub mod arena;
+pub mod bandwidth;
 pub mod cache;
 pub mod dram;
 pub mod mshr;
@@ -32,6 +36,7 @@ pub mod set;
 
 pub use addr::CacheGeometry;
 pub use arena::SetArena;
+pub use bandwidth::{BandwidthConfig, BandwidthRegulator, CoreBandwidthStats};
 pub use cache::{Cache, CacheStats};
 pub use dram::{Dram, DramConfig, DramStats};
 pub use mshr::MshrFile;

@@ -24,7 +24,8 @@ pub struct CrateRule {
 }
 
 /// The dependency DAG, bottom-up. Mechanism crates (`memsim`, `cpusim`,
-/// `energy`) never list the policy crates (`coop-core`, `coop-dvfs`);
+/// `energy`) never list the policy crates (`coop-core`, `coop-dvfs`,
+/// `coop-cbp`);
 /// `fleet` lists no internal crate at all (harness-independent by
 /// construction); only `harness` and the umbrella crate see everything.
 pub const CRATES: &[CrateRule] = &[
@@ -78,6 +79,20 @@ pub const CRATES: &[CrateRule] = &[
         sim: true,
     },
     CrateRule {
+        package: "coop-cbp",
+        dir: "crates/cbp",
+        lib: "coop_cbp",
+        deps: &[
+            "coop-core",
+            "coop-dvfs",
+            "cpusim",
+            "energy",
+            "memsim",
+            "simkit",
+        ],
+        sim: true,
+    },
+    CrateRule {
         package: "fleet",
         dir: "crates/fleet",
         lib: "fleet",
@@ -89,6 +104,7 @@ pub const CRATES: &[CrateRule] = &[
         dir: "crates/harness",
         lib: "harness",
         deps: &[
+            "coop-cbp",
             "coop-core",
             "coop-dvfs",
             "cpusim",
@@ -105,6 +121,7 @@ pub const CRATES: &[CrateRule] = &[
         dir: "crates/bench",
         lib: "bench",
         deps: &[
+            "coop-cbp",
             "coop-core",
             "coop-dvfs",
             "cpusim",
@@ -127,6 +144,7 @@ pub const CRATES: &[CrateRule] = &[
         dir: ".",
         lib: "coop_partitioning",
         deps: &[
+            "coop-cbp",
             "coop-core",
             "coop-dvfs",
             "cpusim",
@@ -243,10 +261,12 @@ mod tests {
     fn mechanism_crates_never_allow_policy_crates() {
         for pkg in ["memsim", "cpusim", "energy"] {
             let c = crate_for_package(pkg).expect("in table");
-            assert!(
-                !c.deps.contains(&"coop-core") && !c.deps.contains(&"coop-dvfs"),
-                "{pkg} must not see policy crates"
-            );
+            for policy in ["coop-core", "coop-dvfs", "coop-cbp"] {
+                assert!(
+                    !c.deps.contains(&policy),
+                    "{pkg} must not see policy crate {policy}"
+                );
+            }
         }
     }
 
