@@ -148,6 +148,15 @@ pub(crate) fn fnv1a(bytes: &[u8]) -> u64 {
     h
 }
 
+/// Content checksum of a JSON value: 16 hex digits of FNV-1a over its
+/// canonical render. The JSON layer keeps objects key-sorted and numbers
+/// as raw tokens, so parse → render is byte-stable and a checksum taken
+/// at write time verifies bit-exactly at read time. Used by the store
+/// (cell files, journal lines) and the protocol (`cell_done` payloads).
+pub fn content_sum(v: &Value) -> String {
+    format!("{:016x}", fnv1a(v.render().as_bytes()))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

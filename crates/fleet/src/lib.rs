@@ -23,6 +23,7 @@
 //! ```
 
 pub mod cell;
+pub mod chaos;
 pub mod json;
 pub mod orchestrator;
 pub mod protocol;
@@ -30,10 +31,13 @@ pub mod shard;
 pub mod store;
 pub mod worker;
 
-pub use cell::{CellKind, CellSpec};
+pub use cell::{content_sum, CellKind, CellSpec};
+pub use chaos::ChaosEngine;
 pub use orchestrator::{run_fleet, FleetConfig, FleetReport};
 pub use shard::{plan_shards, Shard};
-pub use store::{JournalEntry, Manifest, ResultsStore, StoreError, STORE_FORMAT};
+pub use store::{
+    fsck, CellHealth, FsckReport, JournalEntry, Manifest, ResultsStore, StoreError, STORE_FORMAT,
+};
 pub use worker::{serve, CellRunner};
 
 /// The version stamped into run manifests, used to refuse resuming onto

@@ -23,14 +23,17 @@ use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 use crate::cell::CellSpec;
+use crate::chaos::{ChaosEngine, Site};
 use crate::protocol::{FromWorker, ToWorker};
 use crate::shard::{plan_shards, Shard};
-use crate::store::{ResultsStore, StoreError};
+use crate::store::{JournalEntry, ResultsStore, StoreError};
+use crate::worker::CellRunner;
 
 /// Orchestration knobs. `new(worker_cmd, workers)` gives production
 /// defaults; every timeout has an env override (`FLEET_SHARD_TIMEOUT_MS`,
 /// `FLEET_STALL_TIMEOUT_MS`, `FLEET_RETRIES`, `FLEET_BACKOFF_MS`,
-/// `FLEET_STATUS_MS`) so tests can compress time without plumbing flags.
+/// `FLEET_STATUS_MS`, `FLEET_RUN_DEADLINE_MS`) so tests can compress time
+/// without plumbing flags.
 #[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// argv of the worker process (e.g. `["/path/repro", "worker"]`).
@@ -50,15 +53,32 @@ pub struct FleetConfig {
     pub backoff: Duration,
     /// Period of the fleet status summary on stderr.
     pub status_every: Duration,
+    /// Global wall-clock budget for the whole run: on expiry, in-flight
+    /// shards are abandoned and the caller salvages whatever cells are
+    /// already durable (`None` = no deadline).
+    pub run_deadline: Option<Duration>,
+}
+
+/// Env-overridable number with a loud fallback: a value that does not
+/// parse is *named and ignored*, never silently swallowed — a typo'd
+/// `FLEET_SHARD_TIMEOUT_MS=5m` must not quietly run with ten minutes.
+fn env_u64(key: &str, default: u64) -> u64 {
+    match std::env::var(key) {
+        Err(_) => default,
+        Ok(v) => match v.trim().parse() {
+            Ok(n) => n,
+            Err(_) => {
+                eprintln!(
+                    "# fleet: ignoring {key}='{v}' (not an unsigned integer); using default {default}"
+                );
+                default
+            }
+        },
+    }
 }
 
 fn env_ms(key: &str, default_ms: u64) -> Duration {
-    Duration::from_millis(
-        std::env::var(key)
-            .ok()
-            .and_then(|v| v.parse().ok())
-            .unwrap_or(default_ms),
-    )
+    Duration::from_millis(env_u64(key, default_ms))
 }
 
 impl FleetConfig {
@@ -70,12 +90,13 @@ impl FleetConfig {
             shards: None,
             shard_timeout: env_ms("FLEET_SHARD_TIMEOUT_MS", 600_000),
             stall_timeout: env_ms("FLEET_STALL_TIMEOUT_MS", 10_000),
-            max_retries: std::env::var("FLEET_RETRIES")
-                .ok()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or(2),
+            max_retries: env_u64("FLEET_RETRIES", 2) as usize,
             backoff: env_ms("FLEET_BACKOFF_MS", 250),
             status_every: env_ms("FLEET_STATUS_MS", 5_000),
+            run_deadline: match env_u64("FLEET_RUN_DEADLINE_MS", 0) {
+                0 => None,
+                ms => Some(Duration::from_millis(ms)),
+            },
         }
     }
 }
@@ -100,6 +121,13 @@ pub struct FleetReport {
     pub sim_accesses: u64,
     /// Orchestration wall clock.
     pub wall_seconds: f64,
+    /// True when the run was cut short by `FLEET_RUN_DEADLINE_MS` — the
+    /// failed cells were abandoned, not exhausted; the caller should
+    /// salvage what is durable and report partial coverage.
+    pub deadline_expired: bool,
+    /// True when every worker spawn failed and the cells were executed by
+    /// the in-process fallback runner instead.
+    pub ran_inprocess: bool,
 }
 
 impl FleetReport {
@@ -172,14 +200,23 @@ struct ShardState {
 }
 
 /// Runs `cells` across a worker fleet, persisting results into `store`.
-/// Already-durable cells (per the store's journal) are skipped, which is
-/// both the `--resume` path and the mid-shard-crash recovery path.
+/// Already-durable cells (per the store's journal, checksum-verified) are
+/// skipped, which is both the `--resume` path and the mid-shard-crash
+/// recovery path.
+///
+/// `fallback` is the graceful-degradation path for total spawn failure:
+/// when no worker process can be started at all (bad binary path, fork
+/// limits, chaos), the remaining cells are executed in-process through it
+/// — slower, single-process, but the run completes instead of dying.
+/// `None` keeps the old fail-the-run behaviour.
 pub fn run_fleet(
     cells: &[CellSpec],
     store: &ResultsStore,
     cfg: &FleetConfig,
+    fallback: Option<&dyn CellRunner>,
 ) -> Result<FleetReport, StoreError> {
     let t0 = Instant::now();
+    let chaos = ChaosEngine::from_env();
     let done_prior = store.done_cell_ids()?;
     let mut report = FleetReport {
         cells_total: cells.len(),
@@ -236,6 +273,12 @@ pub fn run_fleet(
     let mut last_status = Instant::now();
 
     let spawn_worker = |uid: u64, tx: &mpsc::Sender<(u64, Event)>| -> Option<WorkerSlot> {
+        if let Some(ch) = &chaos {
+            if ch.fires(Site::SpawnFail, &uid.to_string()) {
+                eprintln!("# fleet: chaos: refusing to spawn worker {uid}");
+                return None;
+            }
+        }
         let mut cmd = Command::new(&cfg.worker_cmd[0]);
         cmd.args(&cfg.worker_cmd[1..])
             .stdin(Stdio::piped())
@@ -325,10 +368,28 @@ pub fn run_fleet(
         }
     };
 
+    let mut spawn_strikes = 0usize;
     loop {
         // Finished?
         if states.iter().all(|s| s.done || s.failed) {
             break;
+        }
+
+        // Global run deadline: abandon what is in flight and let the
+        // caller salvage the durable cells into partial figures.
+        if let Some(deadline) = cfg.run_deadline {
+            if t0.elapsed() >= deadline {
+                eprintln!(
+                    "# fleet: run deadline ({:.1}s) expired; abandoning unfinished shards",
+                    deadline.as_secs_f64()
+                );
+                report.deadline_expired = true;
+                for st in states.iter_mut().filter(|s| !s.done && !s.failed) {
+                    st.failed = true;
+                    st.last_error = "run deadline expired".to_string();
+                }
+                break;
+            }
         }
 
         // Keep the fleet at strength while work remains unassigned or in
@@ -345,8 +406,27 @@ pub fn run_fleet(
             }
         }
         if workers.is_empty() && open_shards > 0 {
-            // Nothing spawnable at all — fail every open shard so the run
-            // terminates with a report instead of spinning.
+            spawn_strikes += 1;
+            if spawn_strikes < 3 {
+                // Transient? Pause briefly and try again before deciding
+                // the fleet is unspawnable.
+                std::thread::sleep(Duration::from_millis(50));
+                continue;
+            }
+            if let Some(runner) = fallback {
+                // Total spawn failure with a fallback runner: execute the
+                // remaining cells in this process. Slower and serial, but
+                // the run completes instead of dying.
+                eprintln!(
+                    "# fleet: cannot spawn workers after {spawn_strikes} attempts; \
+                     falling back to in-process execution"
+                );
+                report.ran_inprocess = true;
+                run_inprocess(runner, &mut states, store, &specs_by_id, &mut report)?;
+                continue; // loop top sees everything done/failed
+            }
+            // Nothing spawnable and no fallback — fail every open shard
+            // so the run terminates with a report instead of spinning.
             for i in 0..states.len() {
                 if !states[i].done && !states[i].failed {
                     states[i].attempts = cfg.max_retries + 1;
@@ -360,6 +440,9 @@ pub fn run_fleet(
                 }
             }
             continue;
+        }
+        if !workers.is_empty() {
+            spawn_strikes = 0;
         }
 
         // Hand pending shards to idle workers.
@@ -401,6 +484,7 @@ pub fn run_fleet(
             let msg = ToWorker::Assign {
                 shard_id: st.shard.id.clone(),
                 shard_index: st.shard.index,
+                attempt: st.attempts,
                 cells: todo,
             };
             if w.stdin.write_all(msg.to_line().as_bytes()).is_err() {
@@ -625,6 +709,63 @@ pub fn run_fleet(
     Ok(report)
 }
 
+/// Executes every remaining cell through `runner` in this process — the
+/// degradation path for total worker-spawn failure. Cell panics are
+/// caught (a broken model costs its cell, not the orchestrator) and
+/// results go through the same durable store writes as fleet cells.
+fn run_inprocess(
+    runner: &dyn CellRunner,
+    states: &mut [ShardState],
+    store: &ResultsStore,
+    specs_by_id: &BTreeMap<String, CellSpec>,
+    report: &mut FleetReport,
+) -> Result<(), StoreError> {
+    for st in states.iter_mut().filter(|s| !s.done && !s.failed) {
+        st.attempts += 1;
+        let ids: Vec<String> = st.remaining.iter().cloned().collect();
+        for id in ids {
+            let Some(spec) = specs_by_id.get(&id) else {
+                continue;
+            };
+            let started = Instant::now();
+            let outcome =
+                std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| runner.run_cell(spec)));
+            match outcome {
+                Ok(Ok((payload, accesses))) => {
+                    store.write_cell(
+                        spec,
+                        &payload,
+                        &JournalEntry {
+                            cell_id: id.clone(),
+                            shard_id: st.shard.id.clone(),
+                            wall_ms: started.elapsed().as_millis() as u64,
+                            accesses,
+                        },
+                    )?;
+                    st.remaining.remove(&id);
+                    report.cells_completed += 1;
+                    report.sim_accesses += accesses;
+                }
+                Ok(Err(message)) => {
+                    eprintln!("# fleet: in-process cell {id} failed: {message}");
+                    st.last_error = format!("cell {id}: {message}");
+                }
+                Err(panic) => {
+                    let message = crate::worker::panic_message(panic);
+                    eprintln!("# fleet: in-process cell {id} panicked: {message}");
+                    st.last_error = format!("cell {id} panicked: {message}");
+                }
+            }
+        }
+        if st.remaining.is_empty() {
+            st.done = true;
+        } else {
+            st.failed = true;
+        }
+    }
+    Ok(())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -640,6 +781,7 @@ mod tests {
             worker_deaths: 1,
             sim_accesses: 1_000,
             wall_seconds: 1.0,
+            ..FleetReport::default()
         };
         let line = r.summary_line();
         assert!(line.contains("9/10 cells"));

@@ -6,10 +6,10 @@
 //!
 //! Orchestrator → worker:
 //!
-//! | type     | fields                                   | meaning          |
-//! |----------|------------------------------------------|------------------|
-//! | `assign` | `shard_id`, `shard_index`, `cells: [...]`| run this shard   |
-//! | `exit`   |                                          | drain and quit   |
+//! | type     | fields                                              | meaning          |
+//! |----------|-----------------------------------------------------|------------------|
+//! | `assign` | `shard_id`, `shard_index`, `attempt`, `cells: [...]`| run this shard   |
+//! | `exit`   |                                                     | drain and quit   |
 //!
 //! Worker → orchestrator:
 //!
@@ -17,15 +17,22 @@
 //! |--------------|-----------------------------------------------|----------------------------|
 //! | `ready`      | `pid`                                         | idle, send work            |
 //! | `heartbeat`  | `shard_id`                                    | still computing            |
-//! | `cell_done`  | `shard_id`, `cell_id`, `wall_ms`, `accesses`, `payload` | one finished cell |
+//! | `cell_done`  | `shard_id`, `cell_id`, `wall_ms`, `accesses`, `payload`, `sum` | one finished cell |
 //! | `cell_error` | `shard_id`, `cell_id`, `message`              | cell failed (not retried on this worker) |
 //! | `shard_done` | `shard_id`                                    | shard finished, idle again |
+//!
+//! `attempt` is the shard's 1-based attempt counter: retries of the same
+//! shard carry a different attempt, which keys fault-injection schedules
+//! (see [`crate::chaos`]) and diagnostics. `sum` is the FNV-1a content
+//! checksum of the payload's canonical render ([`content_sum`]); it is
+//! verified at parse time, so a flipped byte that still reads as valid
+//! JSON is caught here instead of being persisted.
 //!
 //! Unknown message types are a protocol error — the orchestrator treats
 //! the worker as corrupt and recycles it — so the protocol can grow
 //! without old orchestrators silently dropping new messages.
 
-use crate::cell::CellSpec;
+use crate::cell::{content_sum, CellSpec};
 use crate::json::{self, Value};
 
 /// Messages the orchestrator sends to a worker.
@@ -37,6 +44,9 @@ pub enum ToWorker {
         shard_id: String,
         /// Shard ordinal in the plan (fault-injection targets may use it).
         shard_index: usize,
+        /// 1-based attempt counter for this shard (retries increment it),
+        /// so per-attempt fault schedules can fire once and be absorbed.
+        attempt: usize,
         /// Member cells.
         cells: Vec<CellSpec>,
     },
@@ -51,11 +61,13 @@ impl ToWorker {
             ToWorker::Assign {
                 shard_id,
                 shard_index,
+                attempt,
                 cells,
             } => json::obj(vec![
                 ("type", json::str("assign")),
                 ("shard_id", json::str(shard_id)),
                 ("shard_index", json::num_u64(*shard_index as u64)),
+                ("attempt", json::num_u64(*attempt as u64)),
                 (
                     "cells",
                     Value::Arr(cells.iter().map(|c| c.to_value()).collect()),
@@ -90,6 +102,9 @@ impl ToWorker {
                         .get("shard_index")
                         .and_then(Value::as_usize)
                         .ok_or("assign without shard_index")?,
+                    // Tolerate an orchestrator one release older than the
+                    // worker: a missing attempt reads as the first.
+                    attempt: v.get("attempt").and_then(Value::as_usize).unwrap_or(1),
                     cells,
                 })
             }
@@ -169,6 +184,7 @@ impl FromWorker {
                 ("wall_ms", json::num_u64(*wall_ms)),
                 ("accesses", json::num_u64(*accesses)),
                 ("payload", payload.clone()),
+                ("sum", json::str(content_sum(payload))),
             ]),
             FromWorker::CellError {
                 shard_id,
@@ -215,22 +231,36 @@ impl FromWorker {
             Some("heartbeat") => Ok(FromWorker::Heartbeat {
                 shard_id: shard(&v)?,
             }),
-            Some("cell_done") => Ok(FromWorker::CellDone {
-                shard_id: shard(&v)?,
-                cell_id: cell(&v)?,
-                wall_ms: v
-                    .get("wall_ms")
-                    .and_then(Value::as_u64)
-                    .ok_or("cell_done without wall_ms")?,
-                accesses: v
-                    .get("accesses")
-                    .and_then(Value::as_u64)
-                    .ok_or("cell_done without accesses")?,
-                payload: v
+            Some("cell_done") => {
+                let payload = v
                     .get("payload")
                     .cloned()
-                    .ok_or("cell_done without payload")?,
-            }),
+                    .ok_or("cell_done without payload")?;
+                let sum = v
+                    .get("sum")
+                    .and_then(Value::as_str)
+                    .ok_or("cell_done without checksum")?;
+                if sum != content_sum(&payload) {
+                    // A byte flip somewhere on the pipe that still parsed
+                    // as JSON; the worker (or its transport) is corrupt.
+                    return Err(format!(
+                        "cell_done payload checksum mismatch (claimed {sum})"
+                    ));
+                }
+                Ok(FromWorker::CellDone {
+                    shard_id: shard(&v)?,
+                    cell_id: cell(&v)?,
+                    wall_ms: v
+                        .get("wall_ms")
+                        .and_then(Value::as_u64)
+                        .ok_or("cell_done without wall_ms")?,
+                    accesses: v
+                        .get("accesses")
+                        .and_then(Value::as_u64)
+                        .ok_or("cell_done without accesses")?,
+                    payload,
+                })
+            }
             Some("cell_error") => Ok(FromWorker::CellError {
                 shard_id: shard(&v)?,
                 cell_id: cell(&v)?,
@@ -258,6 +288,7 @@ mod tests {
         let msg = ToWorker::Assign {
             shard_id: "abcd".to_string(),
             shard_index: 3,
+            attempt: 2,
             cells: vec![CellSpec::sweep("G2-1", "ucp", 2, "quick")],
         };
         let line = msg.to_line();
@@ -266,13 +297,22 @@ mod tests {
             ToWorker::Assign {
                 shard_id,
                 shard_index,
+                attempt,
                 cells,
             } => {
                 assert_eq!(shard_id, "abcd");
                 assert_eq!(shard_index, 3);
+                assert_eq!(attempt, 2);
                 assert_eq!(cells.len(), 1);
                 assert_eq!(cells[0].workload, "G2-1");
             }
+            other => panic!("wrong message: {other:?}"),
+        }
+        // One-release tolerance: an assign without attempt reads as the
+        // first attempt.
+        let legacy = r#"{"cells":[],"shard_id":"s","shard_index":0,"type":"assign"}"#;
+        match ToWorker::from_line(legacy).expect("parses") {
+            ToWorker::Assign { attempt, .. } => assert_eq!(attempt, 1),
             other => panic!("wrong message: {other:?}"),
         }
         assert!(matches!(
@@ -317,5 +357,27 @@ mod tests {
         assert!(FromWorker::from_line(r#"{"type":"mystery"}"#).is_err());
         assert!(FromWorker::from_line("not json").is_err());
         assert!(FromWorker::from_line(r#"{"no":"type"}"#).is_err());
+    }
+
+    #[test]
+    fn corrupted_cell_done_payloads_fail_the_checksum() {
+        let msg = FromWorker::CellDone {
+            shard_id: "s".to_string(),
+            cell_id: "c".to_string(),
+            wall_ms: 10,
+            accesses: 1000,
+            payload: json::obj(vec![("ipc", json::arr_f64(&[1.5, 0.25]))]),
+        };
+        let line = msg.to_line();
+        assert!(FromWorker::from_line(&line).is_ok());
+        // Flip one digit inside the payload: still valid JSON, but the
+        // checksum no longer matches.
+        let flipped = line.replace("0.25", "0.35");
+        assert_ne!(flipped, line);
+        let err = FromWorker::from_line(&flipped).expect_err("checksum must catch the flip");
+        assert!(err.contains("checksum"), "{err}");
+        // A cell_done without any checksum is equally rejected.
+        let stripped = line.replace(r#","sum":""#, r#","nosum":""#);
+        assert!(FromWorker::from_line(&stripped).is_err());
     }
 }

@@ -3,10 +3,11 @@
 //! Layout:
 //!
 //! ```text
-//! DIR/manifest.json     run manifest: what/scale/filters/version + cell IDs
-//! DIR/cells/<id>.json   one finished cell: {"spec": ..., "payload": ...}
-//! DIR/journal.jsonl     append-only journal, one line per finished cell
-//! DIR/<experiment>.json merged experiment outputs (written by repro)
+//! DIR/manifest.json          run manifest: what/scale/filters/version + cell IDs
+//! DIR/cells/<id>.json        one finished cell: {"payload": ..., "spec": ..., "sum": ...}
+//! DIR/cells/quarantine/      cell files that failed verification (kept for forensics)
+//! DIR/journal.jsonl          append-only journal, one line per finished cell
+//! DIR/<experiment>.json      merged experiment outputs (written by repro)
 //! ```
 //!
 //! The per-cell file is the durable unit (PR 4's JSON output format carried
@@ -16,16 +17,33 @@
 //! compatibility gate: a resumed run refuses to mix partial results from a
 //! different scale, filter set, sample plan or code version instead of
 //! silently merging them.
+//!
+//! Every cell file and journal line embeds a `"sum"`: the FNV-1a content
+//! checksum of its own canonical render minus that field (see
+//! [`crate::cell::content_sum`]; the JSON layer's sorted keys and raw
+//! number tokens make parse → render byte-stable, so a checksum taken at
+//! write time verifies bit-exactly at read time). Verification runs on
+//! every resume/merge read: a corrupt cell is **quarantined** to
+//! `cells/quarantine/` and recomputed, never silently merged; a damaged
+//! journal line is skipped, which simply makes its cell look not-done.
+//! [`fsck`] audits manifest ↔ journal ↔ cell-file consistency offline and
+//! (with repair) quarantines bad cells and rebuilds the journal from the
+//! cell files that still verify.
 
 use std::io::Write as _;
 use std::path::{Path, PathBuf};
+use std::sync::Arc;
 
-use crate::cell::CellSpec;
+use crate::cell::{content_sum, CellSpec};
+use crate::chaos::{ChaosEngine, Site};
 use crate::json::{self, Value};
 
 /// Results-store format version (bump when the cell payload layout
-/// changes incompatibly).
-pub const STORE_FORMAT: u64 = 1;
+/// changes incompatibly). Format 2 added content checksums to cell files
+/// and journal lines; format-1 stores are refused (their cells carry no
+/// integrity information, so resuming onto them would reintroduce the
+/// blind-trust hole this format closed).
+pub const STORE_FORMAT: u64 = 2;
 
 /// The run manifest: everything that must match for partial results to be
 /// mergeable.
@@ -218,6 +236,10 @@ pub struct JournalEntry {
 #[derive(Debug, Clone)]
 pub struct ResultsStore {
     dir: PathBuf,
+    /// Armed chaos engine: write paths consult it to inject torn cell
+    /// files and journal damage (deterministically, keyed by cell ID and
+    /// per-cell write count). `None` in production.
+    chaos: Option<Arc<ChaosEngine>>,
 }
 
 /// Store I/O errors, tagged with the path involved.
@@ -247,7 +269,15 @@ impl ResultsStore {
         let dir = dir.into();
         let cells = dir.join("cells");
         std::fs::create_dir_all(&cells).map_err(|e| store_err(&cells, "create", e))?;
-        Ok(ResultsStore { dir })
+        Ok(ResultsStore { dir, chaos: None })
+    }
+
+    /// Arms fault injection on this store's write paths (builder-style;
+    /// the orchestrating process installs the engine it read from
+    /// `FLEET_CHAOS`).
+    pub fn with_chaos(mut self, chaos: Option<Arc<ChaosEngine>>) -> ResultsStore {
+        self.chaos = chaos;
+        self
     }
 
     /// The store's root directory.
@@ -265,6 +295,10 @@ impl ResultsStore {
 
     fn cell_path(&self, cell_id: &str) -> PathBuf {
         self.dir.join("cells").join(format!("{cell_id}.json"))
+    }
+
+    fn quarantine_dir(&self) -> PathBuf {
+        self.dir.join("cells").join("quarantine")
     }
 
     /// Writes the run manifest (pretty single line + trailing newline).
@@ -289,44 +323,66 @@ impl ResultsStore {
             .map_err(|e| store_err(&path, "parse", e))
     }
 
-    /// Persists one finished cell (spec + opaque payload) and appends its
-    /// journal line. The cell file is written atomically (tmp + rename) so
-    /// a crash mid-write never leaves a torn result that a resume would
-    /// trust.
+    /// Persists one finished cell (spec + opaque payload + content
+    /// checksum) and appends its checksummed journal line. The cell file
+    /// is written atomically (tmp + rename) so a crash mid-write never
+    /// leaves a torn result that a resume would trust.
     pub fn write_cell(
         &self,
         spec: &CellSpec,
         payload: &Value,
         entry: &JournalEntry,
     ) -> Result<(), StoreError> {
-        let doc = json::obj(vec![
+        let doc = seal(json::obj(vec![
             ("spec", spec.to_value()),
             ("payload", payload.clone()),
-        ]);
+        ]));
         let path = self.cell_path(&entry.cell_id);
-        let tmp = path.with_extension("json.tmp");
         let mut text = doc.render();
         text.push('\n');
+        if let Some(ch) = &self.chaos {
+            if ch.fires_counted(Site::TornCellWrite, &entry.cell_id) {
+                // A torn write lands directly at the final path —
+                // modelling media/kernel faults the tmp+rename dance
+                // cannot see — and is what verification must catch.
+                let cut = (text.len() / 2).max(1);
+                std::fs::write(&path, &text.as_bytes()[..cut])
+                    .map_err(|e| store_err(&path, "write", e))?;
+                self.append_journal_line(entry)?;
+                return Ok(());
+            }
+        }
+        let tmp = path.with_extension("json.tmp");
         std::fs::write(&tmp, text).map_err(|e| store_err(&tmp, "write", e))?;
         std::fs::rename(&tmp, &path).map_err(|e| store_err(&path, "rename", e))?;
+        self.append_journal_line(entry)
+    }
 
-        let line = json::obj(vec![
-            ("cell", json::str(&entry.cell_id)),
-            ("shard", json::str(&entry.shard_id)),
-            ("wall_ms", json::num_u64(entry.wall_ms)),
-            ("accesses", json::num_u64(entry.accesses)),
-        ]);
+    fn append_journal_line(&self, entry: &JournalEntry) -> Result<(), StoreError> {
+        let line = seal(journal_value(entry));
         let jpath = self.journal_path();
         let mut f = std::fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(&jpath)
             .map_err(|e| store_err(&jpath, "open", e))?;
-        writeln!(f, "{}", line.render()).map_err(|e| store_err(&jpath, "append", e))
+        writeln!(f, "{}", line.render()).map_err(|e| store_err(&jpath, "append", e))?;
+        if let Some(ch) = &self.chaos {
+            if ch.fires_counted(Site::JournalDamage, &entry.cell_id) {
+                // Tear the tail: a half-written junk line after the real
+                // one, as a crash mid-append would leave.
+                let rendered = line.render();
+                let torn = &rendered[..rendered.len() / 2];
+                write!(f, "{torn}").map_err(|e| store_err(&jpath, "append", e))?;
+            }
+        }
+        Ok(())
     }
 
-    /// Journal entries in append order (unparseable lines are skipped —
-    /// a torn final line after a crash must not poison the resume).
+    /// Journal entries in append order. Unparseable lines are skipped (a
+    /// torn final line after a crash must not poison the resume), and so
+    /// are lines whose embedded checksum does not verify — a damaged
+    /// entry simply makes its cell look not-done, which re-runs it.
     pub fn read_journal(&self) -> Result<Vec<JournalEntry>, StoreError> {
         let path = self.journal_path();
         let text = match std::fs::read_to_string(&path) {
@@ -334,53 +390,438 @@ impl ResultsStore {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
             Err(e) => return Err(store_err(&path, "read", e)),
         };
-        let mut out = Vec::new();
-        for line in text.lines() {
-            let Ok(v) = json::parse(line) else { continue };
-            let (Some(cell), Some(shard)) = (
-                v.get("cell").and_then(Value::as_str),
-                v.get("shard").and_then(Value::as_str),
-            ) else {
-                continue;
-            };
-            out.push(JournalEntry {
-                cell_id: cell.to_string(),
-                shard_id: shard.to_string(),
-                wall_ms: v.get("wall_ms").and_then(Value::as_u64).unwrap_or(0),
-                accesses: v.get("accesses").and_then(Value::as_u64).unwrap_or(0),
-            });
-        }
-        Ok(out)
+        Ok(text
+            .lines()
+            .filter_map(|line| parse_journal_line(line).ok())
+            .collect())
     }
 
     /// IDs of cells that are durably finished: journaled AND whose cell
-    /// file exists (the file is the durable unit; the journal alone does
-    /// not count).
+    /// file exists *and verifies* (the file is the durable unit; the
+    /// journal alone does not count). A journaled cell whose file fails
+    /// verification is quarantined here — the resume path — so it gets
+    /// transparently recomputed instead of silently merged.
     pub fn done_cell_ids(&self) -> Result<Vec<String>, StoreError> {
         let mut out = Vec::new();
+        let mut seen = Vec::new();
         for e in self.read_journal()? {
-            if self.cell_path(&e.cell_id).exists() && !out.contains(&e.cell_id) {
-                out.push(e.cell_id);
+            if seen.contains(&e.cell_id) {
+                continue;
+            }
+            seen.push(e.cell_id.clone());
+            match self.verify_cell(&e.cell_id) {
+                CellHealth::Valid => out.push(e.cell_id),
+                CellHealth::Missing => {}
+                CellHealth::Corrupt(why) => {
+                    let _ = self.quarantine_cell(&e.cell_id, &why)?;
+                }
             }
         }
         Ok(out)
     }
 
-    /// Loads one finished cell's payload.
+    /// Integrity state of one cell file.
+    pub fn verify_cell(&self, cell_id: &str) -> CellHealth {
+        let path = self.cell_path(cell_id);
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return CellHealth::Missing,
+            Err(e) => return CellHealth::Corrupt(format!("unreadable: {e}")),
+        };
+        match check_cell_text(cell_id, &text) {
+            Ok(_) => CellHealth::Valid,
+            Err(why) => CellHealth::Corrupt(why),
+        }
+    }
+
+    /// Moves a corrupt cell file to `cells/quarantine/` (kept for
+    /// forensics; its absence from `cells/` is what triggers recompute).
+    pub fn quarantine_cell(&self, cell_id: &str, why: &str) -> Result<PathBuf, StoreError> {
+        let qdir = self.quarantine_dir();
+        std::fs::create_dir_all(&qdir).map_err(|e| store_err(&qdir, "create", e))?;
+        let from = self.cell_path(cell_id);
+        let to = qdir.join(format!("{cell_id}.json"));
+        std::fs::rename(&from, &to).map_err(|e| store_err(&from, "quarantine", e))?;
+        eprintln!(
+            "# store: quarantined corrupt cell {cell_id} ({why}) → {}",
+            to.display()
+        );
+        Ok(to)
+    }
+
+    /// Verifies every cell in `cell_ids`, quarantining the corrupt ones.
+    /// Returns `(cell_id, reason)` for each quarantined cell — the set a
+    /// fleet run must recompute before its results are trustworthy.
+    pub fn quarantine_corrupt(
+        &self,
+        cell_ids: &[String],
+    ) -> Result<Vec<(String, String)>, StoreError> {
+        let mut bad = Vec::new();
+        for id in cell_ids {
+            if let CellHealth::Corrupt(why) = self.verify_cell(id) {
+                let _ = self.quarantine_cell(id, &why)?;
+                bad.push((id.clone(), why));
+            }
+        }
+        Ok(bad)
+    }
+
+    /// Loads one finished cell's payload, verifying its checksum — a
+    /// corrupt cell is an error here, never silently merged.
     pub fn read_cell(&self, cell_id: &str) -> Result<(CellSpec, Value), StoreError> {
         let path = self.cell_path(cell_id);
         let text = std::fs::read_to_string(&path).map_err(|e| store_err(&path, "read", e))?;
-        let v = json::parse(&text).map_err(|e| store_err(&path, "parse", e))?;
-        let spec = v
-            .get("spec")
-            .ok_or_else(|| store_err(&path, "parse", "missing spec"))
-            .and_then(|s| CellSpec::from_value(s).map_err(|e| store_err(&path, "parse", e)))?;
-        let payload = v
-            .get("payload")
-            .cloned()
-            .ok_or_else(|| store_err(&path, "parse", "missing payload"))?;
-        Ok((spec, payload))
+        check_cell_text(cell_id, &text).map_err(|e| store_err(&path, "verify", e))
     }
+}
+
+/// Integrity state of one cell file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellHealth {
+    /// Present, parses, checksum and spec hash match.
+    Valid,
+    /// No file (not computed yet, or already quarantined).
+    Missing,
+    /// Present but failing verification, with the reason.
+    Corrupt(String),
+}
+
+/// Adds a `"sum"` field to an object: the content checksum of the object
+/// *without* that field, which is exactly what verification recomputes.
+fn seal(v: Value) -> Value {
+    let sum = content_sum(&v);
+    match v {
+        Value::Obj(mut m) => {
+            m.insert("sum".to_string(), json::str(&sum));
+            Value::Obj(m)
+        }
+        other => other,
+    }
+}
+
+/// Splits a sealed object back into (content-without-sum, claimed sum).
+fn unseal(v: Value) -> Result<(Value, String), String> {
+    match v {
+        Value::Obj(mut m) => {
+            let sum = m
+                .remove("sum")
+                .and_then(|s| s.as_str().map(str::to_string))
+                .ok_or("missing checksum")?;
+            Ok((Value::Obj(m), sum))
+        }
+        _ => Err("not an object".to_string()),
+    }
+}
+
+/// Full verification of one cell file's text: parses, checks the embedded
+/// checksum against the canonical render, and checks the spec hashes to
+/// the ID the file is stored under. Returns the verified (spec, payload).
+fn check_cell_text(cell_id: &str, text: &str) -> Result<(CellSpec, Value), String> {
+    let v = json::parse(text).map_err(|e| format!("parse: {e}"))?;
+    let (content, claimed) = unseal(v)?;
+    let actual = content_sum(&content);
+    if claimed != actual {
+        return Err(format!(
+            "checksum mismatch (file says {claimed}, content is {actual})"
+        ));
+    }
+    let spec = content
+        .get("spec")
+        .ok_or("missing spec")
+        .and_then(|s| CellSpec::from_value(s).map_err(|_| "bad spec"))
+        .map_err(str::to_string)?;
+    if spec.id() != cell_id {
+        return Err(format!(
+            "spec hashes to {} but file is stored as {cell_id}",
+            spec.id()
+        ));
+    }
+    let payload = content.get("payload").cloned().ok_or("missing payload")?;
+    Ok((spec, payload))
+}
+
+/// The journal line for an entry, before sealing.
+fn journal_value(entry: &JournalEntry) -> Value {
+    json::obj(vec![
+        ("cell", json::str(&entry.cell_id)),
+        ("shard", json::str(&entry.shard_id)),
+        ("wall_ms", json::num_u64(entry.wall_ms)),
+        ("accesses", json::num_u64(entry.accesses)),
+    ])
+}
+
+/// Parses and verifies one journal line.
+fn parse_journal_line(line: &str) -> Result<JournalEntry, String> {
+    let v = json::parse(line).map_err(|e| format!("parse: {e}"))?;
+    let (content, claimed) = unseal(v)?;
+    let actual = content_sum(&content);
+    if claimed != actual {
+        return Err(format!(
+            "checksum mismatch (line says {claimed}, content is {actual})"
+        ));
+    }
+    let (Some(cell), Some(shard)) = (
+        content.get("cell").and_then(Value::as_str),
+        content.get("shard").and_then(Value::as_str),
+    ) else {
+        return Err("missing cell/shard".to_string());
+    };
+    Ok(JournalEntry {
+        cell_id: cell.to_string(),
+        shard_id: shard.to_string(),
+        wall_ms: content.get("wall_ms").and_then(Value::as_u64).unwrap_or(0),
+        accesses: content.get("accesses").and_then(Value::as_u64).unwrap_or(0),
+    })
+}
+
+/// One inconsistency `fsck` found.
+#[derive(Debug, Clone)]
+pub struct FsckIssue {
+    /// Issue class: `manifest`, `cell`, `journal`, `tmp`.
+    pub kind: &'static str,
+    /// Human-readable description naming the file/line involved.
+    pub detail: String,
+}
+
+/// What an [`fsck`] pass found (and, with repair, did).
+#[derive(Debug, Clone, Default)]
+pub struct FsckReport {
+    /// Inconsistencies found (empty = clean).
+    pub issues: Vec<FsckIssue>,
+    /// Repair actions taken (empty when not repairing or nothing to do).
+    pub repairs: Vec<String>,
+    /// Cells the manifest expects.
+    pub cells_expected: usize,
+    /// Cell files that verified.
+    pub cells_valid: usize,
+    /// Manifest cells with no file at all — not corruption, just not yet
+    /// computed (`--resume` picks them up).
+    pub cells_missing: usize,
+    /// Files already sitting in `cells/quarantine/`.
+    pub quarantined: usize,
+}
+
+impl FsckReport {
+    /// True when no inconsistencies were found.
+    pub fn clean(&self) -> bool {
+        self.issues.is_empty()
+    }
+
+    /// Multi-line human-readable rendering.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "fsck: {expected} cells expected · {valid} valid · {missing} not yet computed · {q} quarantined\n",
+            expected = self.cells_expected,
+            valid = self.cells_valid,
+            missing = self.cells_missing,
+            q = self.quarantined,
+        ));
+        for i in &self.issues {
+            out.push_str(&format!("fsck: ISSUE [{}] {}\n", i.kind, i.detail));
+        }
+        for r in &self.repairs {
+            out.push_str(&format!("fsck: repaired: {r}\n"));
+        }
+        out.push_str(&if self.issues.is_empty() {
+            "fsck: clean\n".to_string()
+        } else {
+            format!("fsck: {} issue(s)\n", self.issues.len())
+        });
+        out
+    }
+}
+
+/// Audits manifest ↔ journal ↔ cell-file consistency of the store at
+/// `dir`: every cell file must parse, verify its checksum, hash to its
+/// filename and appear in the manifest; every journal line must parse,
+/// verify, and point at a manifest cell whose file is (still) valid; torn
+/// `.json.tmp` leftovers are flagged. With `repair`, corrupt or unknown
+/// cell files are quarantined, tmp files removed, and the journal is
+/// rebuilt from exactly the cell files that verify (synthesized entries
+/// carry shard `"fsck"` and zero wall/access accounting — those fields
+/// are throughput accounting only), leaving a store `--resume` completes.
+pub fn fsck(dir: &Path, repair: bool) -> Result<FsckReport, StoreError> {
+    let store = ResultsStore::open(dir)?;
+    let mut r = FsckReport::default();
+
+    // Manifest: without one there is nothing to audit against.
+    let manifest = match store.read_manifest() {
+        Ok(Some(m)) => m,
+        Ok(None) => {
+            r.issues.push(FsckIssue {
+                kind: "manifest",
+                detail: format!(
+                    "{} has no manifest.json (not a results store?)",
+                    dir.display()
+                ),
+            });
+            return Ok(r);
+        }
+        Err(e) => {
+            r.issues.push(FsckIssue {
+                kind: "manifest",
+                detail: format!("manifest.json unreadable: {e}"),
+            });
+            return Ok(r);
+        }
+    };
+    r.cells_expected = manifest.cell_ids.len();
+
+    // Cell files: verify each, quarantining on repair.
+    let cells_dir = dir.join("cells");
+    let mut valid_ids: Vec<String> = Vec::new();
+    let mut entries: Vec<PathBuf> = std::fs::read_dir(&cells_dir)
+        .map_err(|e| store_err(&cells_dir, "read", e))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .filter(|p| p.is_file())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().to_string())
+            .unwrap_or_default();
+        if name.ends_with(".json.tmp") {
+            r.issues.push(FsckIssue {
+                kind: "tmp",
+                detail: format!("torn temp file cells/{name} (crash mid-write)"),
+            });
+            if repair {
+                std::fs::remove_file(&path).map_err(|e| store_err(&path, "remove", e))?;
+                r.repairs.push(format!("removed cells/{name}"));
+            }
+            continue;
+        }
+        let Some(id) = name.strip_suffix(".json") else {
+            r.issues.push(FsckIssue {
+                kind: "cell",
+                detail: format!("stray file cells/{name}"),
+            });
+            continue;
+        };
+        let problem = match store.verify_cell(id) {
+            CellHealth::Valid => {
+                if manifest.cell_ids.contains(&id.to_string()) {
+                    valid_ids.push(id.to_string());
+                    continue;
+                }
+                "valid but not in the manifest (wrong run?)".to_string()
+            }
+            CellHealth::Corrupt(why) => why,
+            CellHealth::Missing => continue, // raced away; nothing to audit
+        };
+        r.issues.push(FsckIssue {
+            kind: "cell",
+            detail: format!("cells/{name}: {problem}"),
+        });
+        if repair {
+            let to = store.quarantine_cell(id, &problem)?;
+            r.repairs
+                .push(format!("quarantined cells/{name} → {}", to.display()));
+        }
+    }
+    r.cells_valid = valid_ids.len();
+    r.cells_missing = manifest
+        .cell_ids
+        .iter()
+        .filter(|id| !valid_ids.contains(id))
+        .count();
+
+    // Journal: parse + verify every raw line against the valid cell set.
+    let jpath = dir.join("journal.jsonl");
+    let mut journal_ok: Vec<JournalEntry> = Vec::new();
+    let mut journal_bad = false;
+    let jtext = match std::fs::read_to_string(&jpath) {
+        Ok(t) => t,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+        Err(e) => return Err(store_err(&jpath, "read", e)),
+    };
+    for (n, line) in jtext.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        match parse_journal_line(line) {
+            Err(why) => {
+                r.issues.push(FsckIssue {
+                    kind: "journal",
+                    detail: format!("journal.jsonl line {}: {why}", n + 1),
+                });
+                journal_bad = true;
+            }
+            Ok(e) => {
+                if !manifest.cell_ids.contains(&e.cell_id) {
+                    r.issues.push(FsckIssue {
+                        kind: "journal",
+                        detail: format!(
+                            "journal.jsonl line {}: names cell {} outside the manifest",
+                            n + 1,
+                            e.cell_id
+                        ),
+                    });
+                    journal_bad = true;
+                } else if !valid_ids.contains(&e.cell_id) {
+                    r.issues.push(FsckIssue {
+                        kind: "journal",
+                        detail: format!(
+                            "journal.jsonl line {}: cell {} journaled but its file is missing or invalid",
+                            n + 1,
+                            e.cell_id
+                        ),
+                    });
+                    journal_bad = true;
+                } else if journal_ok.iter().any(|j| j.cell_id == e.cell_id) {
+                    // Duplicate of a valid entry: harmless, drop on repair.
+                    journal_bad = true;
+                } else {
+                    journal_ok.push(e);
+                }
+            }
+        }
+    }
+    // Valid cell files the journal never recorded (crash between the
+    // rename and the append) look not-done to resume; surface them.
+    for id in &valid_ids {
+        if !journal_ok.iter().any(|j| &j.cell_id == id) {
+            r.issues.push(FsckIssue {
+                kind: "journal",
+                detail: format!("cell {id} has a valid file but no journal entry"),
+            });
+            journal_bad = true;
+        }
+    }
+
+    if repair && journal_bad {
+        // Rebuild the journal from exactly the cell files that verify.
+        for id in &valid_ids {
+            if !journal_ok.iter().any(|j| &j.cell_id == id) {
+                journal_ok.push(JournalEntry {
+                    cell_id: id.clone(),
+                    shard_id: "fsck".to_string(),
+                    wall_ms: 0,
+                    accesses: 0,
+                });
+            }
+        }
+        let mut text = String::new();
+        for e in &journal_ok {
+            text.push_str(&seal(journal_value(e)).render());
+            text.push('\n');
+        }
+        let tmp = jpath.with_extension("jsonl.tmp");
+        std::fs::write(&tmp, text).map_err(|e| store_err(&tmp, "write", e))?;
+        std::fs::rename(&tmp, &jpath).map_err(|e| store_err(&jpath, "rename", e))?;
+        r.repairs.push(format!(
+            "rebuilt journal.jsonl with {} verified entries",
+            journal_ok.len()
+        ));
+    }
+
+    let qdir = cells_dir.join("quarantine");
+    r.quarantined = std::fs::read_dir(&qdir)
+        .map(|it| it.filter_map(|e| e.ok()).count())
+        .unwrap_or(0);
+    Ok(r)
 }
 
 #[cfg(test)]
@@ -513,6 +954,202 @@ mod tests {
         assert!(store.read_manifest().expect("read").is_none());
         store.write_manifest(&manifest(&[])).expect("write");
         assert!(store.read_manifest().expect("read").is_some());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    fn write_one(store: &ResultsStore, spec: &CellSpec) {
+        store
+            .write_cell(
+                spec,
+                &json::obj(vec![("ipc", json::arr_f64(&[1.25, 0.5]))]),
+                &JournalEntry {
+                    cell_id: spec.id(),
+                    shard_id: "s0".to_string(),
+                    wall_ms: 10,
+                    accesses: 1000,
+                },
+            )
+            .expect("write");
+    }
+
+    #[test]
+    fn bit_flips_fail_verification_and_resume_quarantines() {
+        let dir = tmpdir("bitflip");
+        let store = ResultsStore::open(&dir).expect("open");
+        let spec = CellSpec::sweep("G2-1", "ucp", 2, "quick");
+        write_one(&store, &spec);
+        assert_eq!(store.verify_cell(&spec.id()), CellHealth::Valid);
+        assert!(store.read_cell(&spec.id()).is_ok());
+
+        // Flip one payload digit in place: still valid JSON, wrong sum.
+        let path = dir.join("cells").join(format!("{}.json", spec.id()));
+        let text = std::fs::read_to_string(&path).expect("read");
+        let flipped = text.replace("1.25", "1.35");
+        assert_ne!(flipped, text);
+        std::fs::write(&path, flipped).expect("rewrite");
+        assert!(matches!(
+            store.verify_cell(&spec.id()),
+            CellHealth::Corrupt(_)
+        ));
+        assert!(
+            store.read_cell(&spec.id()).is_err(),
+            "corrupt cells never merge"
+        );
+
+        // The resume path quarantines it and reports the cell not done.
+        assert!(store.done_cell_ids().expect("done").is_empty());
+        assert_eq!(store.verify_cell(&spec.id()), CellHealth::Missing);
+        assert!(dir
+            .join("cells")
+            .join("quarantine")
+            .join(format!("{}.json", spec.id()))
+            .exists());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn spec_filename_mismatch_is_corrupt() {
+        let dir = tmpdir("idmismatch");
+        let store = ResultsStore::open(&dir).expect("open");
+        let spec = CellSpec::sweep("G2-1", "ucp", 2, "quick");
+        write_one(&store, &spec);
+        // A valid cell file stored under the wrong name must not verify:
+        // its payload answers a different question than the ID asks.
+        let text = std::fs::read_to_string(dir.join("cells").join(format!("{}.json", spec.id())))
+            .expect("read");
+        let other = CellSpec::sweep("G2-2", "ucp", 2, "quick");
+        let wrong = dir.join("cells").join(format!("{}.json", other.id()));
+        std::fs::write(&wrong, text).expect("write");
+        match store.verify_cell(&other.id()) {
+            CellHealth::Corrupt(why) => assert!(why.contains("stored as"), "{why}"),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn damaged_journal_checksums_hide_the_entry() {
+        let dir = tmpdir("jsum");
+        let store = ResultsStore::open(&dir).expect("open");
+        let spec = CellSpec::sweep("G2-1", "ucp", 2, "quick");
+        write_one(&store, &spec);
+        // Corrupt the journal line's accounting: parses, checksum fails,
+        // so the entry is skipped and the cell looks not-done.
+        let jpath = dir.join("journal.jsonl");
+        let text = std::fs::read_to_string(&jpath).expect("read");
+        std::fs::write(&jpath, text.replace("\"wall_ms\":10", "\"wall_ms\":99")).expect("write");
+        assert!(store.read_journal().expect("journal").is_empty());
+        assert!(store.done_cell_ids().expect("done").is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_reports_and_repairs_a_three_way_corruption() {
+        let dir = tmpdir("fsck");
+        let store = ResultsStore::open(&dir).expect("open");
+        let a = CellSpec::sweep("G2-1", "ucp", 2, "quick");
+        let b = CellSpec::sweep("G2-2", "ucp", 2, "quick");
+        let c = CellSpec::sweep("G2-3", "ucp", 2, "quick");
+        store
+            .write_manifest(&manifest(&[a.clone(), b.clone(), c.clone()]))
+            .expect("manifest");
+        for s in [&a, &b, &c] {
+            write_one(&store, s);
+        }
+        let report = fsck(&dir, false).expect("fsck");
+        assert!(report.clean(), "{}", report.render());
+        assert_eq!(report.cells_valid, 3);
+
+        // Acceptance scenario: a truncated cell, a torn journal tail, and
+        // a bit-flipped cell — all three must be reported.
+        let a_path = dir.join("cells").join(format!("{}.json", a.id()));
+        let text = std::fs::read_to_string(&a_path).expect("read");
+        std::fs::write(&a_path, &text.as_bytes()[..text.len() / 2]).expect("truncate");
+        let b_path = dir.join("cells").join(format!("{}.json", b.id()));
+        let text = std::fs::read_to_string(&b_path).expect("read");
+        std::fs::write(&b_path, text.replace("1.25", "1.35")).expect("flip");
+        let jpath = dir.join("journal.jsonl");
+        let mut f = std::fs::OpenOptions::new()
+            .append(true)
+            .open(&jpath)
+            .expect("open journal");
+        write!(f, "{{\"cell\":\"dead").expect("tear");
+        drop(f);
+
+        let report = fsck(&dir, false).expect("fsck");
+        assert!(!report.clean());
+        let kinds: Vec<&str> = report.issues.iter().map(|i| i.kind).collect();
+        assert!(kinds.contains(&"cell"), "{:?}", report.issues);
+        assert!(kinds.contains(&"journal"), "{:?}", report.issues);
+        // Both damaged cells show up, plus their now-dangling journal
+        // entries, plus the torn tail line.
+        assert!(report.issues.len() >= 5, "{}", report.render());
+        assert!(report.repairs.is_empty(), "audit mode must not write");
+
+        // Repair: quarantine the two bad cells, rebuild the journal.
+        let report = fsck(&dir, true).expect("fsck --repair");
+        assert!(!report.repairs.is_empty());
+        let report = fsck(&dir, false).expect("fsck after repair");
+        assert!(report.clean(), "{}", report.render());
+        assert_eq!(report.cells_valid, 1);
+        assert_eq!(report.cells_missing, 2);
+        assert_eq!(report.quarantined, 2);
+        // The repaired store is resumable: exactly c is done.
+        assert_eq!(store.done_cell_ids().expect("done"), vec![c.id()]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fsck_flags_tmp_leftovers_and_unknown_cells() {
+        let dir = tmpdir("fscktmp");
+        let store = ResultsStore::open(&dir).expect("open");
+        let a = CellSpec::sweep("G2-1", "ucp", 2, "quick");
+        store
+            .write_manifest(&manifest(std::slice::from_ref(&a)))
+            .expect("manifest");
+        write_one(&store, &a);
+        // A torn temp file and a valid-but-foreign cell file.
+        std::fs::write(dir.join("cells").join("deadbeef.json.tmp"), b"{\"par").expect("tmp");
+        let foreign = CellSpec::sweep("G4-1", "ucp", 4, "quick");
+        write_one(&store, &foreign);
+        let report = fsck(&dir, false).expect("fsck");
+        assert!(!report.clean());
+        assert!(report.issues.iter().any(|i| i.kind == "tmp"));
+        assert!(report
+            .issues
+            .iter()
+            .any(|i| i.kind == "cell" && i.detail.contains("not in the manifest")));
+        let report = fsck(&dir, true).expect("repair");
+        assert!(!report.repairs.is_empty());
+        assert!(fsck(&dir, false).expect("recheck").clean());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn chaos_torn_writes_are_caught_by_resume() {
+        let chaos = Arc::new(ChaosEngine::parse("11:torn").expect("chaos"));
+        let dir = tmpdir("chaostorn");
+        let store = ResultsStore::open(&dir)
+            .expect("open")
+            .with_chaos(Some(Arc::clone(&chaos)));
+        // Write cells until the schedule tears one; the clean reopened
+        // store must quarantine exactly the torn ones.
+        let specs: Vec<CellSpec> = (0..24)
+            .map(|i| CellSpec::sweep(&format!("G2-{i}"), "ucp", 2, "quick"))
+            .collect();
+        for s in &specs {
+            write_one(&store, s);
+        }
+        let clean = ResultsStore::open(&dir).expect("reopen");
+        let done = clean.done_cell_ids().expect("done");
+        assert!(
+            done.len() < specs.len(),
+            "the torn profile tore something in 24 writes"
+        );
+        assert!(!done.is_empty(), "and not everything");
+        for id in &done {
+            assert!(clean.read_cell(id).is_ok());
+        }
         let _ = std::fs::remove_dir_all(&dir);
     }
 }

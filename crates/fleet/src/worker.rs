@@ -8,20 +8,20 @@
 //! unfinished cells), and `shard_done` when idle again. Diagnostics go to
 //! stderr, which the orchestrator passes through.
 //!
-//! ## Fault injection (test hook)
+//! Cell execution is wrapped in `catch_unwind`: a model panic inside one
+//! cell becomes a `cell_error` for that cell, not the death of the worker
+//! and the rest of its shard.
 //!
-//! `FLEET_FAIL_SHARD=<target>:<mode>` makes the worker misbehave when a
-//! matching shard is assigned, so orchestrator tests can pin retry,
-//! timeout and resume behaviour:
+//! ## Fault injection
 //!
-//! * `<target>` — a shard ordinal (`1`) or a shard-ID prefix (`ab12`);
-//! * `<mode>` — `panic` (die immediately), `panic1` (finish exactly one
-//!   cell, then die — exercises mid-shard degradation), or `hang` (stall
-//!   silently, without heartbeats — exercises the stall timeout).
-//!
-//! With `FLEET_FAIL_ONCE=<marker-path>` the fault fires only if the
-//! marker file does not exist yet (it is created when firing), so a retry
-//! of the same shard succeeds — the bounded-retry path in one run.
+//! The worker consults the [`crate::chaos`] engine (armed via
+//! `FLEET_CHAOS=<seed>:<profile>`, or the deprecated
+//! `FLEET_FAIL_SHARD`/`FLEET_FAIL_ONCE` shim) at each protocol state:
+//! on `assign` it may die, hang silently, or arm a death after one cell
+//! (keyed by shard + attempt, so a retry rolls a fresh decision); per
+//! cell it may sleep, panic inside the cell (exercising `catch_unwind`),
+//! flip a byte of the outgoing `cell_done` line (exercising the payload
+//! checksum), or die mid-write of it (exercising mid-shard recovery).
 
 // Heartbeat timing needs wall clock and the reader uses detached threads;
 // allowlisted here and in simlint's path allowlist.
@@ -33,6 +33,7 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use crate::cell::CellSpec;
+use crate::chaos::{ChaosEngine, Site, TargetedMode};
 use crate::json::Value;
 use crate::protocol::{FromWorker, ToWorker};
 
@@ -45,98 +46,33 @@ pub trait CellRunner {
     fn run_cell(&self, cell: &CellSpec) -> Result<(Value, u64), String>;
 }
 
-/// A parsed `FLEET_FAIL_SHARD` directive.
-#[derive(Debug, Clone, PartialEq)]
-pub struct FaultPlan {
-    target: String,
-    mode: FaultMode,
-    once_marker: Option<String>,
-}
-
-#[derive(Debug, Clone, Copy, PartialEq)]
-enum FaultMode {
-    Panic,
-    PanicAfterOneCell,
-    Hang,
-}
-
-impl FaultPlan {
-    /// Reads the plan from the environment (`None` when unset).
-    ///
-    /// # Panics
-    ///
-    /// Panics on a malformed directive — a typo'd fault injection must
-    /// not silently run the real workload.
-    pub fn from_env() -> Option<FaultPlan> {
-        let spec = std::env::var("FLEET_FAIL_SHARD").ok()?;
-        let plan = FaultPlan::parse(&spec)
-            // simlint: allow(panic-policy) -- test-only fault-injection hook; a typo'd directive must fail loud, not run the real workload
-            .unwrap_or_else(|e| panic!("bad FLEET_FAIL_SHARD '{spec}': {e}"));
-        Some(FaultPlan {
-            once_marker: std::env::var("FLEET_FAIL_ONCE").ok(),
-            ..plan
-        })
-    }
-
-    /// Parses `<target>:<mode>`.
-    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
-        let (target, mode) = spec
-            .split_once(':')
-            .ok_or("expected <shard-ordinal-or-id-prefix>:<panic|panic1|hang>")?;
-        let mode = match mode {
-            "panic" => FaultMode::Panic,
-            "panic1" => FaultMode::PanicAfterOneCell,
-            "hang" => FaultMode::Hang,
-            other => return Err(format!("unknown fault mode '{other}'")),
-        };
-        if target.is_empty() {
-            return Err("empty shard target".to_string());
-        }
-        Ok(FaultPlan {
-            target: target.to_string(),
-            mode,
-            once_marker: None,
-        })
-    }
-
-    fn matches(&self, shard_id: &str, shard_index: usize) -> bool {
-        self.target == shard_index.to_string() || shard_id.starts_with(&self.target)
-    }
-
-    /// True when the fault should fire now (consumes the once-marker).
-    fn armed(&self, shard_id: &str, shard_index: usize) -> bool {
-        if !self.matches(shard_id, shard_index) {
-            return false;
-        }
-        match &self.once_marker {
-            None => true,
-            Some(path) => {
-                if std::path::Path::new(path).exists() {
-                    false
-                } else {
-                    // Marker creation failing means the fault would fire on
-                    // every retry; surface that loudly.
-                    // simlint: allow(panic-policy) -- test-only fault-injection marker; failing to persist it would loop the fault forever
-                    std::fs::write(path, b"fired\n").expect("write FLEET_FAIL_ONCE marker");
-                    true
-                }
-            }
-        }
+/// Renders a caught panic payload into a one-line message.
+pub(crate) fn panic_message(p: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
-fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+fn send_raw(out: &Mutex<std::io::Stdout>, bytes: &[u8]) {
     // simlint: allow(panic-policy) -- lock poisoning means a writer thread already panicked; this worker is lost either way
     let mut out = out.lock().expect("worker stdout");
     // A dead orchestrator pipe is not an error worth a worker backtrace.
-    let _ = out.write_all(msg.to_line().as_bytes());
+    let _ = out.write_all(bytes);
     let _ = out.flush();
+}
+
+fn send(out: &Mutex<std::io::Stdout>, msg: &FromWorker) {
+    send_raw(out, msg.to_line().as_bytes());
 }
 
 /// Runs the worker loop until `exit` or stdin EOF. Returns the number of
 /// cells computed (mainly for tests; the process usually just exits).
 pub fn serve(runner: &dyn CellRunner) -> usize {
-    let fault = FaultPlan::from_env();
+    let chaos = ChaosEngine::from_env();
     let heartbeat_every = Duration::from_millis(
         std::env::var("FLEET_HEARTBEAT_MS")
             .ok()
@@ -170,32 +106,50 @@ pub fn serve(runner: &dyn CellRunner) -> usize {
             ToWorker::Assign {
                 shard_id,
                 shard_index,
+                attempt,
                 cells,
             } => {
                 let mut fail_after: Option<usize> = None;
-                if let Some(plan) = &fault {
-                    if plan.armed(&shard_id, shard_index) {
-                        match plan.mode {
-                            FaultMode::Panic => {
-                                eprintln!(
-                                    "# worker: fault injection: panic on shard {shard_index}"
-                                );
-                                std::process::exit(101);
-                            }
-                            FaultMode::Hang => {
-                                eprintln!("# worker: fault injection: hang on shard {shard_index}");
-                                // Stall silently — no heartbeats — until the
-                                // orchestrator's stall timeout kills us.
-                                loop {
-                                    std::thread::sleep(Duration::from_secs(3600));
-                                }
-                            }
-                            FaultMode::PanicAfterOneCell => fail_after = Some(1),
+                if let Some(ch) = &chaos {
+                    // Targeted single-shard faults (the regression-test
+                    // form / deprecated FLEET_FAIL_SHARD shim).
+                    match ch.targeted_mode(&shard_id, shard_index) {
+                        Some(TargetedMode::Panic) => {
+                            eprintln!("# worker: fault injection: panic on shard {shard_index}");
+                            std::process::exit(101);
                         }
+                        Some(TargetedMode::Hang) => {
+                            eprintln!("# worker: fault injection: hang on shard {shard_index}");
+                            hang_forever();
+                        }
+                        Some(TargetedMode::PanicAfterOneCell) => fail_after = Some(1),
+                        None => {}
+                    }
+                    // Seeded profile faults, keyed by (shard, attempt) so
+                    // a retry of the same shard rolls a fresh decision.
+                    let key = format!("{shard_id}#{attempt}");
+                    if ch.fires(Site::WorkerKill, &key) {
+                        eprintln!("# worker: chaos: killed on assign of shard {shard_index}");
+                        std::process::exit(101);
+                    }
+                    if ch.fires(Site::WorkerHang, &key) {
+                        eprintln!("# worker: chaos: hanging on shard {shard_index}");
+                        hang_forever();
+                    }
+                    if fail_after.is_none() && ch.fires(Site::WorkerDieAfterCell, &key) {
+                        fail_after = Some(1);
                     }
                 }
-                cells_done +=
-                    run_shard(runner, &out, &shard_id, &cells, heartbeat_every, fail_after);
+                cells_done += run_shard(
+                    runner,
+                    &out,
+                    &shard_id,
+                    attempt,
+                    &cells,
+                    heartbeat_every,
+                    fail_after,
+                    chaos.as_ref(),
+                );
                 send(
                     &out,
                     &FromWorker::ShardDone {
@@ -208,15 +162,26 @@ pub fn serve(runner: &dyn CellRunner) -> usize {
     cells_done
 }
 
+/// Stall silently — no heartbeats — until the orchestrator's stall
+/// timeout kills us.
+fn hang_forever() -> ! {
+    loop {
+        std::thread::sleep(Duration::from_secs(3600));
+    }
+}
+
 /// Runs one shard's cells, heartbeating from a side thread while each
 /// cell computes. Returns how many cells completed.
+#[allow(clippy::too_many_arguments)]
 fn run_shard(
     runner: &dyn CellRunner,
     out: &Arc<Mutex<std::io::Stdout>>,
     shard_id: &str,
+    attempt: usize,
     cells: &[CellSpec],
     heartbeat_every: Duration,
     fail_after: Option<usize>,
+    chaos: Option<&ChaosEngine>,
 ) -> usize {
     let stop = Arc::new(AtomicBool::new(false));
     let beat = {
@@ -238,28 +203,71 @@ fn run_shard(
 
     let mut done = 0usize;
     for cell in cells {
+        let cell_key = format!("{}#{attempt}", cell.id());
+        if let Some(ch) = chaos {
+            if ch.fires(Site::WorkerSlow, &cell_key) {
+                std::thread::sleep(Duration::from_millis(ch.slow_ms()));
+            }
+        }
         let started = Instant::now();
-        match runner.run_cell(cell) {
-            Ok((payload, accesses)) => {
-                send(
-                    out,
-                    &FromWorker::CellDone {
-                        shard_id: shard_id.to_string(),
-                        cell_id: cell.id(),
-                        wall_ms: started.elapsed().as_millis() as u64,
-                        accesses,
-                        payload,
-                    },
-                );
+        // A model panic must cost one cell, not the worker and the rest
+        // of its shard: catch it and report a cell_error instead.
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            if let Some(ch) = chaos {
+                if ch.fires(Site::CellPanic, &cell_key) {
+                    // simlint: allow(panic-policy) -- chaos-injected model panic, caught by the catch_unwind wrapping this closure
+                    panic!("chaos: injected cell panic");
+                }
+            }
+            runner.run_cell(cell)
+        }));
+        match outcome {
+            Ok(Ok((payload, accesses))) => {
+                let msg = FromWorker::CellDone {
+                    shard_id: shard_id.to_string(),
+                    cell_id: cell.id(),
+                    wall_ms: started.elapsed().as_millis() as u64,
+                    accesses,
+                    payload,
+                };
+                let line = msg.to_line();
+                if let Some(ch) = chaos {
+                    if ch.fires(Site::TruncateMessage, &cell_key) {
+                        // Die mid-write: the orchestrator's reader sees a
+                        // torn line (or EOF) and recycles this worker.
+                        let cut = ch.truncate_at(&cell_key, line.len());
+                        send_raw(out, &line.as_bytes()[..cut]);
+                        eprintln!("# worker: chaos: died mid-write of cell_done");
+                        std::process::exit(101);
+                    }
+                    if ch.fires(Site::CorruptMessage, &cell_key) {
+                        let mut bad = ch.corrupt_line(&cell_key, line.trim_end());
+                        bad.push('\n');
+                        send_raw(out, bad.as_bytes());
+                        done += 1;
+                        continue;
+                    }
+                }
+                send_raw(out, line.as_bytes());
                 done += 1;
             }
-            Err(message) => {
+            Ok(Err(message)) => {
                 send(
                     out,
                     &FromWorker::CellError {
                         shard_id: shard_id.to_string(),
                         cell_id: cell.id(),
                         message,
+                    },
+                );
+            }
+            Err(panic) => {
+                send(
+                    out,
+                    &FromWorker::CellError {
+                        shard_id: shard_id.to_string(),
+                        cell_id: cell.id(),
+                        message: format!("cell panicked: {}", panic_message(panic)),
                     },
                 );
             }
@@ -279,34 +287,14 @@ mod tests {
     use super::*;
 
     #[test]
-    fn fault_plans_parse_and_match() {
-        let p = FaultPlan::parse("1:panic").expect("parses");
-        assert!(p.matches("whatever", 1));
-        assert!(!p.matches("whatever", 2));
-        let p = FaultPlan::parse("ab12:hang").expect("parses");
-        assert!(p.matches("ab12ffff00", 7));
-        assert!(!p.matches("ffab12", 7));
-        assert_eq!(
-            FaultPlan::parse("0:panic1").expect("parses").mode,
-            FaultMode::PanicAfterOneCell
-        );
-        assert!(FaultPlan::parse("nomode").is_err());
-        assert!(FaultPlan::parse(":panic").is_err());
-        assert!(FaultPlan::parse("1:explode").is_err());
-    }
-
-    #[test]
-    fn once_marker_arms_exactly_once() {
-        let marker = std::env::temp_dir().join(format!("fleet-once-{}", std::process::id()));
-        let _ = std::fs::remove_file(&marker);
-        let plan = FaultPlan {
-            target: "0".to_string(),
-            mode: FaultMode::Panic,
-            once_marker: Some(marker.display().to_string()),
-        };
-        assert!(plan.armed("s", 0), "first match fires");
-        assert!(!plan.armed("s", 0), "second match is disarmed");
-        assert!(!plan.armed("s", 1), "non-matching shard never fires");
-        let _ = std::fs::remove_file(&marker);
+    fn panic_messages_render_str_and_string_payloads() {
+        let caught = std::panic::catch_unwind(|| panic!("literal message")).expect_err("panics");
+        assert_eq!(panic_message(caught), "literal message");
+        let caught = std::panic::catch_unwind(|| {
+            let detail = 42;
+            panic!("formatted {detail}")
+        })
+        .expect_err("panics");
+        assert_eq!(panic_message(caught), "formatted 42");
     }
 }

@@ -12,7 +12,8 @@
 //! experiments: table1 table3 table4 fig5 fig6 fig7 fig8 fig9 fig10
 //!              fig5_10 fig11 fig12 fig13 fig14 fig15 fig16 dvfs_energy
 //!              cbp_energy all two-core four-core eight_core sample
-//! repro worker    # internal: fleet worker process (NDJSON on stdio)
+//! repro worker              # internal: fleet worker process (NDJSON on stdio)
+//! repro fsck [--repair] DIR # audit/repair a results store
 //! ```
 //!
 //! `--policy` restricts the sweep figures to the named policies (from the
@@ -60,6 +61,11 @@ fn main() {
     if args[0] == "worker" {
         fleet_run::worker_serve();
         return;
+    }
+    // Store maintenance: audit (and optionally repair) a results
+    // directory without running anything.
+    if args[0] == "fsck" {
+        run_fsck(&args[1..]);
     }
     let mut scale = SimScale::from_env_or(SimScale::small());
     let mut csv_dir: Option<String> = None;
@@ -243,6 +249,7 @@ fn main() {
     );
     let start = std::time::Instant::now();
 
+    let mut partial: Option<String> = None;
     let list = if let Some(workers) = workers {
         // Fleet mode: shard the cells over worker processes, streaming
         // results into the --json directory (which doubles as the
@@ -271,7 +278,10 @@ fn main() {
             &dir,
             &opts,
         ) {
-            Ok(outcome) => outcome.experiments,
+            Ok(outcome) => {
+                partial = outcome.partial;
+                outcome.experiments
+            }
             Err(e) => {
                 eprintln!("{e}");
                 std::process::exit(1);
@@ -328,6 +338,69 @@ fn main() {
         }
     }
     eprintln!("# done in {:.1}s", start.elapsed().as_secs_f64());
+    if let Some(coverage) = partial {
+        // Partial figures were printed/written above, but a script must
+        // not mistake them for the complete artifact.
+        eprintln!(
+            "# fleet: {coverage}; finished cells are saved — rerun with --resume to complete"
+        );
+        std::process::exit(1);
+    }
+}
+
+/// `repro fsck [--repair] DIR` — audit a results store's manifest /
+/// journal / cell-file consistency. Exit 0 when the store is clean (or
+/// `--repair` restored it to a resumable state), 1 when issues remain,
+/// 2 on usage errors.
+fn run_fsck(args: &[String]) -> ! {
+    let mut repair = false;
+    let mut dir: Option<&str> = None;
+    for a in args {
+        match a.as_str() {
+            "--repair" => repair = true,
+            other if !other.starts_with('-') && dir.is_none() => dir = Some(other),
+            other => {
+                eprintln!("fsck: unexpected argument '{other}'\nusage: repro fsck [--repair] DIR");
+                std::process::exit(2);
+            }
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("usage: repro fsck [--repair] DIR");
+        std::process::exit(2);
+    };
+    let path = std::path::Path::new(dir);
+    match fleet::fsck(path, repair) {
+        Err(e) => {
+            eprintln!("fsck: {e}");
+            std::process::exit(1);
+        }
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.clean() {
+                std::process::exit(0);
+            }
+            if repair {
+                // A repair only counts if a fresh audit comes back clean.
+                match fleet::fsck(path, false) {
+                    Ok(second) if second.clean() => {
+                        eprintln!("fsck: repaired; store is consistent and resumable");
+                        std::process::exit(0);
+                    }
+                    Ok(second) => {
+                        print!("{}", second.render());
+                        eprintln!("fsck: repair left issues behind");
+                        std::process::exit(1);
+                    }
+                    Err(e) => {
+                        eprintln!("fsck: re-audit after repair failed: {e}");
+                        std::process::exit(1);
+                    }
+                }
+            }
+            std::process::exit(1);
+        }
+    }
 }
 
 /// Satellite of fleet mode: a plain `--json` run of a fleet-capable
@@ -505,6 +578,9 @@ fn usage() {
          --workers:   fleet mode — shard a sweep figure (or 'sample') over N worker\n\
          \x20            processes streaming into --json DIR; --resume continues a\n\
          \x20            killed or partially failed run from the same DIR\n\
+         fsck:        audit a results store's manifest/journal/cell checksums\n\
+         \x20            (repro fsck [--repair] DIR); --repair quarantines corrupt\n\
+         \x20            cells and rebuilds the journal so --resume can finish\n\
          sample:      Monte Carlo 1-8-core mixes (--sample N draws, --seed S);\n\
          \x20            distributional report with QoS-violation tails (first --slacks value)",
         policy_registry().names().join(", ")

@@ -15,8 +15,8 @@
 // allowlisted here and in simlint's path allowlist.
 #![allow(clippy::disallowed_methods)]
 
-use std::collections::BTreeMap;
-use std::sync::Mutex;
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::{Arc, Mutex};
 
 use coop_core::MissCurve;
 use energy::{CoreEnergyReport, EnergyCounts, EnergyReport};
@@ -618,6 +618,10 @@ pub struct FleetOutcome {
     pub experiments: Vec<Experiment>,
     /// Orchestration statistics.
     pub report: FleetReport,
+    /// `Some("N/M cells, partial")` when the run could not finish and the
+    /// experiments were salvaged from the durable subset — the caller
+    /// should surface the coverage and exit nonzero so scripts notice.
+    pub partial: Option<String>,
 }
 
 /// Builds the manifest for a run (also written by single-process
@@ -695,7 +699,13 @@ pub fn run_fleet_target(
         ));
     }
 
-    let store = ResultsStore::open(dir).map_err(|e| e.to_string())?;
+    // The orchestrating process arms the same chaos engine the workers
+    // read from `FLEET_CHAOS`, so store-side faults (torn cell writes,
+    // journal damage) inject deterministically alongside the worker-side
+    // ones.
+    let store = ResultsStore::open(dir)
+        .map_err(|e| e.to_string())?
+        .with_chaos(fleet::ChaosEngine::from_env().map(Arc::new));
     let manifest = manifest_for(what, scale, policies, group_filter, sample, &cells);
     match store.read_manifest().map_err(|e| e.to_string())? {
         Some(existing) => {
@@ -725,8 +735,64 @@ pub fn run_fleet_target(
         opts.workers,
     );
     cfg.shards = opts.shards;
-    let report = fleet::run_fleet(&cells, &store, &cfg).map_err(|e| e.to_string())?;
+    // The fallback runner lets the orchestrator finish in-process when no
+    // worker can be spawned at all (bad binary, fork limits, chaos).
+    let mut report = fleet::run_fleet(&cells, &store, &cfg, Some(&HarnessCellRunner))
+        .map_err(|e| e.to_string())?;
+
+    // Post-run integrity pass: a torn write (chaos or a real media fault)
+    // can leave a journaled cell whose file no longer verifies — the
+    // orchestrator counted it done, but the bytes are not trustworthy.
+    // Quarantine such cells and recompute them before merging; bounded
+    // passes so persistent corruption fails loudly instead of looping.
+    let all_ids: Vec<String> = cells.iter().map(|c| c.id()).collect();
+    let mut integrity_passes = 0usize;
+    while report.complete() {
+        let bad = store
+            .quarantine_corrupt(&all_ids)
+            .map_err(|e| e.to_string())?;
+        if bad.is_empty() {
+            break;
+        }
+        integrity_passes += 1;
+        if integrity_passes > 2 {
+            report.failed_cells.extend(
+                bad.into_iter()
+                    .map(|(id, why)| (id, format!("persistently corrupt: {why}"))),
+            );
+            break;
+        }
+        eprintln!(
+            "# fleet: {} corrupt cell(s) quarantined; recomputing (integrity pass {integrity_passes})",
+            bad.len()
+        );
+        let again = fleet::run_fleet(&cells, &store, &cfg, Some(&HarnessCellRunner))
+            .map_err(|e| e.to_string())?;
+        fold_report(&mut report, again);
+    }
+
+    let perf = ExperimentPerf {
+        wall_seconds: report.wall_seconds,
+        sim_accesses: report.sim_accesses,
+        workers: opts.workers,
+    };
     if !report.complete() {
+        // Salvage what the durable cells fully cover before giving up:
+        // figures built from complete groups only, stamped with explicit
+        // partial coverage.
+        if let Some(outcome) = salvage_partial(
+            &store,
+            what,
+            scale,
+            policies,
+            group_filter,
+            sample,
+            &cells,
+            report.clone(),
+            perf,
+        )? {
+            return Ok(outcome);
+        }
         return Err(format!(
             "{} cells failed permanently (see the fleet log above); finished cells are saved — fix the cause and rerun with --resume",
             report.failed_cells.len()
@@ -739,17 +805,131 @@ pub fn run_fleet_target(
             .map(|(_, payload)| payload)
             .map_err(|e| e.to_string())
     };
-    let perf = ExperimentPerf {
-        wall_seconds: report.wall_seconds,
-        sim_accesses: report.sim_accesses,
-        workers: opts.workers,
-    };
     let experiments =
         merge_target_experiments(&lookup, what, scale, policies, group_filter, sample, perf)?;
     Ok(FleetOutcome {
         experiments,
         report,
+        partial: None,
     })
+}
+
+/// Accumulates a recompute pass's statistics into the run's report. The
+/// follow-up pass's failure set *replaces* the first's (those are the
+/// cells still missing); everything else adds up.
+fn fold_report(into: &mut FleetReport, next: FleetReport) {
+    into.cells_completed += next.cells_completed;
+    into.retries += next.retries;
+    into.worker_deaths += next.worker_deaths;
+    into.sim_accesses += next.sim_accesses;
+    into.wall_seconds += next.wall_seconds;
+    into.failed_cells = next.failed_cells;
+    into.deadline_expired |= next.deadline_expired;
+    into.ran_inprocess |= next.ran_inprocess;
+}
+
+/// Builds partial-coverage experiments from an incomplete run: sweep
+/// groups whose cells (every policy, every solo baseline) are all durable
+/// and valid merge exactly as a complete run would; incomplete groups are
+/// omitted; every figure is stamped `N/M cells, partial`. Returns `None`
+/// when nothing is salvageable (no fully covered group, or a Monte Carlo
+/// run — distributional statistics over a partial draw set would silently
+/// be a different experiment).
+#[allow(clippy::too_many_arguments)]
+fn salvage_partial(
+    store: &ResultsStore,
+    what: &str,
+    scale: SimScale,
+    policies: &[&'static str],
+    group_filter: &[String],
+    sample: Option<&SamplePlan>,
+    cells: &[CellSpec],
+    report: FleetReport,
+    perf: ExperimentPerf,
+) -> Result<Option<FleetOutcome>, String> {
+    if sample.is_some() {
+        return Ok(None);
+    }
+    let Some(targets) = sweep_targets(what) else {
+        return Ok(None);
+    };
+    let done: BTreeSet<String> = store
+        .done_cell_ids()
+        .map_err(|e| e.to_string())?
+        .into_iter()
+        .collect();
+    let durable = cells.iter().filter(|c| done.contains(&c.id())).count();
+    let total = cells.len();
+    let pol: Vec<&'static str> = if policies.is_empty() {
+        coop_core::PAPER_POLICIES.to_vec()
+    } else {
+        policies.to_vec()
+    };
+    let pol_fair = policies_with_fair(&pol);
+    let lookup = |cell: &CellSpec| -> Result<Value, String> {
+        store
+            .read_cell(&cell.id())
+            .map(|(_, payload)| payload)
+            .map_err(|e| e.to_string())
+    };
+    let mut experiments = Vec::new();
+    let mut omitted: Vec<String> = Vec::new();
+    for (cores, metrics) in targets {
+        let groups = filtered_groups(cores, group_filter);
+        let covered: Vec<String> = groups
+            .iter()
+            .filter(|g| {
+                pol_fair
+                    .iter()
+                    .all(|p| done.contains(&CellSpec::sweep(&g.label, p, cores, scale.name).id()))
+                    && g.member_names()
+                        .iter()
+                        .all(|m| done.contains(&CellSpec::solo(m, cores, scale.name).id()))
+            })
+            .map(|g| g.label.clone())
+            .collect();
+        omitted.extend(
+            groups
+                .iter()
+                .filter(|g| !covered.contains(&g.label))
+                .map(|g| format!("{}@{cores}", g.label)),
+        );
+        if covered.is_empty() {
+            continue;
+        }
+        let sweep = merge_sweep(
+            &lookup,
+            cores,
+            scale,
+            &pol,
+            &covered,
+            perf.wall_seconds,
+            perf.sim_accesses,
+        )?;
+        for m in metrics {
+            experiments.push(figure_from(&sweep, cores, m, &covered, perf));
+        }
+    }
+    if experiments.is_empty() {
+        return Ok(None);
+    }
+    let coverage = format!("{durable}/{total} cells, partial");
+    let note = format!(
+        "{coverage} — incomplete groups omitted ({}); rerun with --resume to finish",
+        omitted.join(", ")
+    );
+    for e in &mut experiments {
+        e.notes.push(note.clone());
+    }
+    eprintln!(
+        "# fleet: salvaged {coverage}; omitted groups: {}",
+        omitted.join(", ")
+    );
+    Ok(Some(FleetOutcome {
+        experiments,
+        report,
+        partial: Some(coverage),
+    }))
 }
 
 /// Builds the target's experiments from finished cells — shared by the

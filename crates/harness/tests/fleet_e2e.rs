@@ -34,7 +34,8 @@ fn repro(args: &[&str], envs: &[(&str, &str)]) -> std::process::Output {
     cmd.args(TARGET_ARGS).args(args);
     // Keep the fault hooks' reach limited to the invocations that ask
     // for them, whatever the ambient environment.
-    cmd.env_remove("FLEET_FAIL_SHARD")
+    cmd.env_remove("FLEET_CHAOS")
+        .env_remove("FLEET_FAIL_SHARD")
         .env_remove("FLEET_FAIL_ONCE");
     cmd.env("FLEET_BACKOFF_MS", "10");
     for (k, v) in envs {
@@ -72,12 +73,12 @@ fn killed_fleet_resumes_bit_identical_to_single_process() {
         "single-process --json runs record a manifest"
     );
 
-    // Fleet run with a persistent fault killing every worker that takes
-    // shard 0: bounded retries exhaust, the run reports failure, and the
-    // other shards' cells stay durable.
+    // Fleet run with a persistent targeted fault killing every worker
+    // that takes shard 0: bounded retries exhaust, the run reports
+    // failure, and the other shards' cells stay durable.
     let failed = repro(
         &["--workers", "2", "--json", fleet_dir.to_str().unwrap()],
-        &[("FLEET_FAIL_SHARD", "0:panic")],
+        &[("FLEET_CHAOS", "0:shard:0:panic")],
     );
     assert!(
         !failed.status.success(),
@@ -152,7 +153,10 @@ fn killed_fleet_resumes_bit_identical_to_single_process() {
     );
 
     // A fault that fires exactly once is absorbed by the retry budget:
-    // one invocation, nonzero worker deaths, still bit-identical.
+    // one invocation, nonzero worker deaths, still bit-identical. This
+    // case rides the deprecated FLEET_FAIL_SHARD shim on purpose — it
+    // must keep working (as a thin alias for the targeted chaos plan)
+    // for one release, and must say it is deprecated.
     let marker = once_dir.join("fired.marker");
     std::fs::create_dir_all(&once_dir).unwrap();
     let once = repro(
@@ -168,6 +172,10 @@ fn killed_fleet_resumes_bit_identical_to_single_process() {
         "retry did not absorb a one-shot fault:\n{stderr}"
     );
     assert!(marker.exists(), "the one-shot fault actually fired");
+    assert!(
+        stderr.contains("FLEET_FAIL_SHARD is deprecated"),
+        "the legacy shim announces its replacement:\n{stderr}"
+    );
     assert!(
         stderr.contains("worker deaths") && !stderr.contains("0 worker deaths"),
         "the death was counted:\n{stderr}"

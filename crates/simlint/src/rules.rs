@@ -218,8 +218,10 @@ pub const FS_ALLOWED_PATHS: &[&str] = &["crates/cpusim/src/trace.rs"];
 /// panic kills a whole run instead of recycling one worker: `unwrap` /
 /// `expect` / `panic!`-family macros are banned in non-test code.
 pub const PANIC_POLICY_PATHS: &[&str] = &[
+    "crates/fleet/src/chaos.rs",
     "crates/fleet/src/orchestrator.rs",
     "crates/fleet/src/protocol.rs",
+    "crates/fleet/src/store.rs",
     "crates/fleet/src/worker.rs",
 ];
 

@@ -22,10 +22,11 @@ echo "fleet_smoke: golden single-process run"
 "${REPRO}" fig5_10 --scale quick --json "${GOLDEN}" > "${WORK}/golden.out"
 
 echo "fleet_smoke: fleet run with a worker killed on its first shard"
-# 0:panic1 kills the worker holding shard 0 after one finished cell (a
-# mid-shard death); the marker makes the fault fire exactly once, so the
-# bounded-retry path completes the run in this same invocation.
-if ! FLEET_FAIL_SHARD=0:panic1 FLEET_FAIL_ONCE="${WORK}/fired.marker" \
+# The targeted chaos plan shard:0:panic1 kills the worker holding shard 0
+# after one finished cell (a mid-shard death); the once-marker makes the
+# fault fire exactly once, so the bounded-retry path completes the run in
+# this same invocation.
+if ! FLEET_CHAOS="0:shard:0:panic1:once=${WORK}/fired.marker" \
     "${REPRO}" fig5_10 --scale quick --workers 2 --json "${FLEET}" > "${WORK}/fleet.out" 2> "${WORK}/fleet.err"; then
   echo "fleet_smoke: FAIL — fleet run did not recover from the injected worker death" >&2
   cat "${WORK}/fleet.err" >&2
@@ -35,6 +36,10 @@ if [ ! -f "${WORK}/fired.marker" ]; then
   echo "fleet_smoke: FAIL — the fault hook never fired (nothing was tested)" >&2
   exit 1
 fi
+grep -q '# chaos:' "${WORK}/fleet.err" || {
+  echo "fleet_smoke: FAIL — chaos engine logged no firing" >&2
+  exit 1
+}
 grep -q 'worker deaths' "${WORK}/fleet.err" || {
   echo "fleet_smoke: FAIL — fleet report missing from stderr" >&2
   exit 1
@@ -46,6 +51,18 @@ echo "fleet_smoke: resume is a no-op on a complete store"
 grep -q '0 computed' "${WORK}/resume.err" || {
   echo "fleet_smoke: FAIL — resume recomputed cells on a complete store" >&2
   cat "${WORK}/resume.err" >&2
+  exit 1
+}
+
+echo "fleet_smoke: fsck on the complete store"
+"${REPRO}" fsck "${FLEET}" > "${WORK}/fsck.out" || {
+  echo "fleet_smoke: FAIL — fsck found issues in a healthy store" >&2
+  cat "${WORK}/fsck.out" >&2
+  exit 1
+}
+grep -q 'fsck: clean' "${WORK}/fsck.out" || {
+  echo "fleet_smoke: FAIL — fsck did not report a clean store" >&2
+  cat "${WORK}/fsck.out" >&2
   exit 1
 }
 
